@@ -1,0 +1,114 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at
+laptop scale (measured) and, where the original needed a cluster, at paper
+scale through the machine model.  The helpers here keep graph setup and
+table formatting consistent across benches.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from repro.graph import build_dist_graph
+from repro.partition import (
+    EdgeBlockPartition,
+    RandomHashPartition,
+    VertexBlockPartition,
+)
+from repro.runtime import run_spmd
+
+#: Default measured-rank counts (thread ranks on the test host).
+MEASURED_RANKS = (1, 2, 4)
+
+#: Default scale of the web-crawl stand-in used by the analytic benches.
+WC_N = 30_000
+WC_DEGREE = 16.0
+
+
+@lru_cache(maxsize=8)
+def wc_edges(n: int = WC_N, avg_degree: float = WC_DEGREE,
+             seed: int = 1) -> np.ndarray:
+    from repro.generators import webcrawl_edges
+
+    return webcrawl_edges(n, avg_degree=avg_degree, seed=seed)
+
+
+def rmat_n(n: int) -> int:
+    """Vertex count of the R-MAT graph covering ``n`` (next power of two)."""
+    return 1 << int(np.ceil(np.log2(n)))
+
+
+@lru_cache(maxsize=8)
+def rmat_like_wc(n: int = WC_N, avg_degree: float = WC_DEGREE,
+                 seed: int = 1) -> np.ndarray:
+    """R-MAT stand-in; its vertex universe is ``rmat_n(n)``."""
+    from repro.generators import rmat_edges
+
+    scale = int(np.ceil(np.log2(n)))
+    return rmat_edges(scale, m=int(avg_degree * n), seed=seed)
+
+
+@lru_cache(maxsize=8)
+def er_like_wc(n: int = WC_N, avg_degree: float = WC_DEGREE,
+               seed: int = 1) -> np.ndarray:
+    from repro.generators import erdos_renyi_edges
+
+    return erdos_renyi_edges(n, int(avg_degree * n), seed=seed)
+
+
+def partition_for(kind: str, comm, n: int, chunk: np.ndarray):
+    if kind in ("np", "vblock"):
+        return VertexBlockPartition(n, comm.size)
+    if kind in ("mp", "eblock"):
+        return EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
+    if kind in ("rand", "random"):
+        return RandomHashPartition(n, comm.size, seed=7)
+    raise ValueError(kind)
+
+
+def time_analytic(edges: np.ndarray, n: int, nranks: int, part_kind: str,
+                  fn) -> float:
+    """Wall-clock seconds of ``fn(comm, g)`` over a freshly built graph.
+
+    Construction happens outside the timed section (the paper times the
+    analytics separately from ingestion in Table IV).
+    """
+
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = partition_for(part_kind, comm, n, chunk)
+        g = build_dist_graph(comm, chunk, part)
+        comm.barrier()
+        t0 = time.perf_counter()
+        fn(comm, g)
+        comm.barrier()
+        return time.perf_counter() - t0
+
+    return max(run_spmd(nranks, job))
+
+
+def fmt_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width ASCII table matching the paper's row layout."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values) -> float:
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    return float(np.exp(np.log(arr).mean())) if len(arr) else float("nan")

@@ -1,0 +1,360 @@
+"""Benchmarks for the §VII extensions built on top of the paper's system.
+
+* compression footprint + decode throughput (future-work direction 1);
+* PuLP-style partitioning quality and its modeled impact (direction 2);
+* direction-optimizing BFS vs. the paper's top-down kernel (the cited
+  Graph500 optimization);
+* checkpoint reload vs. full reconstruction;
+* the added analytics (SSSP, triangles, betweenness, diameter).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import fmt_table, time_analytic, wc_edges
+from repro.analytics import (
+    HaloExchange,
+    betweenness_centrality,
+    distributed_bfs,
+    distributed_bfs_dirop,
+    estimate_diameter,
+    sssp,
+    top_degree_vertices,
+    triangle_count,
+)
+from repro.graph import CompressedCSR, build_csr, build_dist_graph
+from repro.io import load_graph, save_graph
+from repro.partition import (
+    RandomHashPartition,
+    VertexBlockPartition,
+    evaluate_partition,
+    pulp_partition,
+)
+from repro.perf import BLUE_WATERS, pagerank_like_costs, predict_iteration
+from repro.runtime import run_spmd
+
+N = 30_000
+P = 4
+
+
+# ---------------------------------------------------------------------------
+# Compression
+# ---------------------------------------------------------------------------
+def test_compress_web_graph(benchmark):
+    edges = wc_edges(N)
+    indptr, adj = build_csr(N, edges[:, 0], edges[:, 1])
+    benchmark(lambda: CompressedCSR.from_csr(indptr, adj))
+
+
+def test_decode_throughput(benchmark):
+    edges = wc_edges(N)
+    indptr, adj = build_csr(N, edges[:, 0], edges[:, 1])
+    c = CompressedCSR.from_csr(indptr, adj)
+    benchmark(c.decode_all)
+
+
+def test_report_compression(benchmark, report):
+    edges = wc_edges(N)
+    indptr, adj = build_csr(N, edges[:, 0], edges[:, 1])
+
+    def build():
+        c = CompressedCSR.from_csr(indptr, adj)
+        t0 = time.perf_counter()
+        c.decode_all()
+        decode_s = time.perf_counter() - t0
+        return c, decode_s
+
+    c, decode_s = benchmark.pedantic(build, rounds=1, iterations=1)
+    plain = adj.nbytes + indptr.nbytes
+    report("", fmt_table(
+        ["representation", "bytes", "ratio", "decode M edges/s"],
+        [
+            ["int64 CSR", plain, "1.00x", "-"],
+            ["delta+varint", c.nbytes, f"{c.compression_ratio():.2f}x",
+             f"{len(adj) / decode_s / 1e6:.1f}"],
+        ],
+        title=f"EXT 1: adjacency compression, web-crawl stand-in "
+              f"(n={N}, m={len(adj)})"))
+    assert c.compression_ratio() > 2.0
+
+
+# ---------------------------------------------------------------------------
+# PuLP partitioning
+# ---------------------------------------------------------------------------
+def test_pulp_partition_time(benchmark):
+    edges = wc_edges(N)
+    benchmark.pedantic(lambda: pulp_partition(edges, N, P, seed=1),
+                       rounds=2, iterations=1)
+
+
+def test_report_pulp(benchmark, report):
+    edges = wc_edges(N)
+    p = 16  # the regime where cut and balance both matter
+
+    def build():
+        rows = []
+        preds = {}
+        for name, part in (
+            ("vertex-block", VertexBlockPartition(N, p)),
+            ("random", RandomHashPartition(N, p, seed=7)),
+            ("pulp", pulp_partition(edges, N, p, seed=1, n_iters=10,
+                                    edge_balance=1.1)),
+        ):
+            st = evaluate_partition(part, edges)
+            pred = predict_iteration(pagerank_like_costs(edges, part),
+                                     BLUE_WATERS)
+            preds[name] = pred.total
+            rows.append([
+                name, f"{st.cut_fraction:.3f}",
+                f"{st.vertex_imbalance:.2f}", f"{st.edge_imbalance:.2f}",
+                f"{pred.total * 1e3:.3f} ms",
+            ])
+        return rows, preds
+
+    rows, preds = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["strategy", "cut frac", "vtx imbal", "edge imbal",
+         "modeled PR iter"],
+        rows,
+        title=f"EXT 2: PuLP-style partitioning vs. the paper's strategies "
+              f"({p} parts)"))
+    # PuLP combines block-like cut with random-like balance, so its modeled
+    # iteration beats both pure strategies — the paper's future-work claim.
+    assert preds["pulp"] < preds["random"]
+    assert preds["pulp"] < preds["vertex-block"]
+
+
+# ---------------------------------------------------------------------------
+# Direction-optimizing BFS
+# ---------------------------------------------------------------------------
+def _bfs_variant(dirop: bool):
+    edges = wc_edges(N)
+
+    def fn(comm, g):
+        root = int(top_degree_vertices(comm, g, 1)[0])
+        if dirop:
+            distributed_bfs_dirop(comm, g, root)
+        else:
+            distributed_bfs(comm, g, root, "out")
+
+    return time_analytic(edges, N, P, "np", fn)
+
+
+def test_bfs_topdown(benchmark):
+    benchmark.pedantic(lambda: _bfs_variant(False), rounds=3, iterations=1)
+
+
+def test_bfs_dirop(benchmark):
+    benchmark.pedantic(lambda: _bfs_variant(True), rounds=3, iterations=1)
+
+
+def test_report_dirop(benchmark, report):
+    def build():
+        return (min(_bfs_variant(False) for _ in range(3)),
+                min(_bfs_variant(True) for _ in range(3)))
+
+    td, do = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["kernel", "time (s)"],
+        [["top-down (paper Alg. 2)", round(td, 4)],
+         ["direction-optimizing", round(do, 4)]],
+        title=f"EXT 3: BFS direction optimization, web-crawl stand-in, "
+              f"{P} ranks"))
+    # At stand-in scale the win is modest but the optimized kernel must
+    # never be catastrophically slower.
+    assert do < 3 * td
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+def test_report_checkpoint(benchmark, report, tmp_path):
+    edges = wc_edges(N)
+    ckpt = tmp_path / "ckpt"
+
+    def job_build(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = VertexBlockPartition(N, comm.size)
+        t0 = time.perf_counter()
+        g = build_dist_graph(comm, chunk, part)
+        build_s = time.perf_counter() - t0
+        save_graph(comm, g, ckpt)
+        return build_s
+
+    def job_load(comm):
+        part = VertexBlockPartition(N, comm.size)
+        t0 = time.perf_counter()
+        load_graph(comm, ckpt, part)
+        return time.perf_counter() - t0
+
+    def build():
+        b = max(run_spmd(P, job_build))
+        l = max(run_spmd(P, job_load))
+        return b, l
+
+    build_s, load_s = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["path", "time (s)"],
+        [["construct from edges", round(build_s, 4)],
+         ["reload from checkpoint", round(load_s, 4)]],
+        title=f"EXT 4: graph checkpoint reload vs. reconstruction, "
+              f"{P} ranks"))
+
+
+# ---------------------------------------------------------------------------
+# Added analytics
+# ---------------------------------------------------------------------------
+def _hits(c, g):
+    from repro.analytics import hits
+
+    return hits(c, g, max_iters=10)
+
+
+def _closeness(c, g):
+    from repro.analytics import closeness_centrality
+
+    return closeness_centrality(c, g, int(top_degree_vertices(c, g, 1)[0]))
+
+
+EXTRA = {
+    "sssp": lambda c, g: sssp(c, g, int(top_degree_vertices(c, g, 1)[0])),
+    "triangles": lambda c, g: triangle_count(c, g),
+    "betweenness (k=4)": lambda c, g: betweenness_centrality(c, g, k=4),
+    "diameter (4 sweeps)": lambda c, g: estimate_diameter(c, g),
+    "hits (10 iters)": _hits,
+    "closeness (1 vtx)": _closeness,
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXTRA))
+def test_extra_analytics(benchmark, name):
+    edges = wc_edges(N)
+    benchmark.pedantic(lambda: time_analytic(edges, N, P, "np", EXTRA[name]),
+                       rounds=2, iterations=1)
+
+
+def test_report_extra_analytics(benchmark, report):
+    edges = wc_edges(N)
+
+    def build():
+        return {name: time_analytic(edges, N, P, "np", fn)
+                for name, fn in EXTRA.items()}
+
+    times = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["analytic", "time (s)"],
+        [[k, round(v, 3)] for k, v in times.items()],
+        title=f"EXT 5: added analytics (§VII 'extend the collection'), "
+              f"{P} ranks, n={N}"))
+
+
+# ---------------------------------------------------------------------------
+# 1-D vs 2-D partitioning (the paper's §III-A design choice)
+# ---------------------------------------------------------------------------
+def test_report_2d_tradeoff(benchmark, report):
+    from repro.perf import pagerank_like_costs_2d
+
+    edges = wc_edges(N)
+
+    def build():
+        rows = []
+        totals = {}
+        for p in (16, 64, 256):
+            one_d = predict_iteration(
+                pagerank_like_costs(edges, RandomHashPartition(N, p, seed=7)),
+                BLUE_WATERS)
+            two_d = predict_iteration(
+                pagerank_like_costs_2d(edges, N, p), BLUE_WATERS)
+            totals[p] = (one_d.total, two_d.total)
+            rows.append([p, f"{one_d.total * 1e3:.3f}",
+                         f"{two_d.total * 1e3:.3f}",
+                         f"{two_d.total / one_d.total:.2f}x"])
+        return rows, totals
+
+    rows, totals = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["nodes", "1-D random (ms)", "2-D grid (ms)", "2-D vs 1-D"],
+        rows,
+        title="EXT 6: modeled PageRank iteration, 1-D (paper's choice) vs "
+              "2-D checkerboard"))
+    # The paper's regime (tens of nodes): 1-D wins; the 2-D advantage only
+    # appears at extreme node counts — which is why the paper's 1-D choice
+    # is the right one for its configuration.
+    assert totals[16][0] < totals[16][1]
+
+
+# ---------------------------------------------------------------------------
+# Async vs sync Label Propagation (the paper's OpenMP update schedule)
+# ---------------------------------------------------------------------------
+def test_report_lp_schedule(benchmark, report):
+    from repro.analytics import label_propagation
+    from repro.runtime import run_spmd
+
+    edges = wc_edges(N)
+
+    def run_mode(mode):
+        def job(comm):
+            chunk = np.array_split(edges, comm.size)[comm.rank]
+            part = VertexBlockPartition(N, comm.size)
+            g = build_dist_graph(comm, chunk, part)
+            comm.barrier()
+            t0 = time.perf_counter()
+            res = label_propagation(comm, g, n_iters=30, seed=1, mode=mode)
+            comm.barrier()
+            return time.perf_counter() - t0, res.n_iters, res.last_changed
+
+        outs = run_spmd(P, job)
+        return max(o[0] for o in outs), outs[0][1], outs[0][2]
+
+    def build():
+        return {m: run_mode(m) for m in ("sync", "async")}
+
+    res = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["schedule", "time (s)", "iters used (cap 30)", "last changed"],
+        [[m, round(t, 3), it, ch] for m, (t, it, ch) in res.items()],
+        title=f"EXT 7: LP update schedule (sync = deterministic, async = "
+              f"paper's OpenMP-style), {P} ranks"))
+    # Async must converge in no more iterations than sync.
+    assert res["async"][1] <= res["sync"][1]
+
+
+# ---------------------------------------------------------------------------
+# Delta-stepping vs Bellman-Ford SSSP
+# ---------------------------------------------------------------------------
+def test_report_sssp_algorithms(benchmark, report):
+    from repro.analytics import delta_stepping, sssp
+    from repro.runtime import run_spmd
+
+    edges = wc_edges(N)
+
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = VertexBlockPartition(N, comm.size)
+        g = build_dist_graph(comm, chunk, part)
+        root = int(top_degree_vertices(comm, g, 1)[0])
+        comm.barrier()
+        t0 = time.perf_counter()
+        a = sssp(comm, g, root)
+        t_bf = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        b = delta_stepping(comm, g, root)
+        t_ds = time.perf_counter() - t0
+        assert np.allclose(a.distances, b.distances, equal_nan=True)
+        return t_bf, a.n_iters, t_ds, b.n_phases, b.n_relax_rounds
+
+    def build():
+        return run_spmd(P, job)[0]
+
+    t_bf, bf_rounds, t_ds, phases, ds_rounds = benchmark.pedantic(
+        build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["algorithm", "time (s)", "rounds"],
+        [["Bellman-Ford (sssp)", round(t_bf, 3), bf_rounds],
+         [f"delta-stepping ({phases} buckets)", round(t_ds, 3), ds_rounds]],
+        title=f"EXT 8: SSSP algorithm comparison, {P} ranks, hashed "
+              f"weights"))

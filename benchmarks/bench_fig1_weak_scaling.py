@@ -1,0 +1,109 @@
+"""Fig. 1 — weak scaling of Harmonic Centrality and PageRank.
+
+The paper fixes 2^22 vertices per node (R-MAT and Rand-ER, d̄=16) and scales
+8 → 256 nodes.  Here: measured thread-rank runs with a fixed per-rank
+problem size, plus the machine model evaluated at the paper's node counts.
+The shapes to reproduce: near-flat weak scaling for both analytics on
+Rand-ER, visible degradation for R-MAT (degree-skew imbalance), and a
+communication-driven uptick at the largest node counts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from _common import fmt_table, time_analytic
+from repro.analytics import harmonic_centrality, pagerank, top_degree_vertices
+from repro.generators import erdos_renyi_edges, rmat_edges
+from repro.partition import VertexBlockPartition
+from repro.perf import BLUE_WATERS, weak_scaling_model
+
+PER_RANK = 4096
+DEGREE = 16
+MEASURED = (1, 2, 4)
+MODELED_NODES = (8, 16, 32, 64, 128)
+
+
+@lru_cache(maxsize=32)
+def gen_edges(kind: str, nodes: int, seed: int = 1) -> np.ndarray:
+    n = PER_RANK * nodes
+    if kind == "rmat":
+        return rmat_edges(int(np.log2(n)), m=DEGREE * n, seed=seed)
+    return erdos_renyi_edges(n, DEGREE * n, seed=seed)
+
+
+ANALYTICS = {
+    "PageRank": ("pagerank",
+                 lambda c, g: pagerank(c, g, max_iters=1)),
+    "HarmonicCentrality": ("harmonic",
+                           lambda c, g: harmonic_centrality(
+                               c, g, int(top_degree_vertices(c, g, 1)[0]))),
+}
+
+
+@pytest.mark.parametrize("kind", ["rmat", "er"])
+@pytest.mark.parametrize("analytic", sorted(ANALYTICS))
+def test_weak_scaling_largest_measured(benchmark, kind, analytic):
+    p = MEASURED[-1]
+    edges = gen_edges(kind, p)
+    _, fn = ANALYTICS[analytic]
+    benchmark.pedantic(
+        lambda: time_analytic(edges, PER_RANK * p, p, "np", fn),
+        rounds=2, iterations=1)
+
+
+def test_report_fig1(benchmark, report):
+    def build():
+        measured = []
+        for kind in ("rmat", "er"):
+            for a_name, (_, fn) in ANALYTICS.items():
+                row = [f"{kind}/{a_name}"]
+                for p in MEASURED:
+                    edges = gen_edges(kind, p)
+                    row.append(round(
+                        time_analytic(edges, PER_RANK * p, p, "np", fn), 3))
+                measured.append(row)
+        return measured
+
+    measured = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "",
+        fmt_table(
+            ["series"] + [f"p={p}" for p in MEASURED],
+            measured,
+            title=f"FIG 1 (measured): weak scaling, {PER_RANK} vertices/rank",
+        ),
+    )
+
+    model_rows = []
+    for kind in ("rmat", "er"):
+        for a_name, (cls, _) in ANALYTICS.items():
+            pts = weak_scaling_model(
+                lambda p, k=kind: gen_edges(k, p),
+                lambda n, p: VertexBlockPartition(n, p),
+                MODELED_NODES,
+                BLUE_WATERS,
+                analytic=cls,
+                n_levels=8,
+            )
+            model_rows.append([f"{kind}/{a_name}"] +
+                              [f"{pt.time_s:.4f}" for pt in pts])
+    report(
+        "",
+        fmt_table(
+            ["series"] + [f"n={p}" for p in MODELED_NODES],
+            model_rows,
+            title="FIG 1 (modeled): weak scaling at paper node counts "
+                  "(s per iteration / traversal)",
+        ),
+    )
+    # Shape check: R-MAT weak scaling degrades more than Rand-ER for PR.
+    def growth(row):
+        return float(row[-1]) / max(float(row[1]), 1e-12)
+
+    rmat_pr = next(r for r in model_rows if r[0] == "rmat/PageRank")
+    er_pr = next(r for r in model_rows if r[0] == "er/PageRank")
+    assert growth(rmat_pr) >= growth(er_pr) * 0.9

@@ -1,0 +1,116 @@
+"""Fig. 2 — Label Propagation strong scaling.
+
+The paper scales a fixed graph (WC under three partitionings, plus matched
+R-MAT / Rand-ER) from 256 to 1024 nodes and reports speedup over the
+smallest node count.  Measured thread ranks cover 1-4; the machine model
+reproduces the 256-1024 regime, where the shapes to match are: synthetic
+graphs scale well, random partitioning scales best for WC, and the block
+partitionings tail off from load imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import (
+    er_like_wc,
+    fmt_table,
+    rmat_like_wc,
+    rmat_n,
+    time_analytic,
+    wc_edges,
+)
+from repro.analytics import label_propagation
+from repro.partition import (
+    EdgeBlockPartition,
+    RandomHashPartition,
+    VertexBlockPartition,
+)
+from repro.perf import BLUE_WATERS, strong_scaling_model
+
+N = 30_000
+MEASURED = (1, 2, 4)
+# The paper's 256-1024 Blue Waters nodes hold ~14M-3.5M vertices per node;
+# scaling that per-rank load down to the stand-in's 30k vertices lands at
+# 8-32 ranks, so these counts are the "paper-equivalent" regime.
+MODELED_NODES = (8, 16, 32)
+
+
+def lp_fn(c, g):
+    return label_propagation(c, g, n_iters=1, seed=1)
+
+
+SERIES = [
+    ("WC-np", wc_edges, "np", N),
+    ("WC-mp", wc_edges, "mp", N),
+    ("WC-rand", wc_edges, "rand", N),
+    ("R-MAT", rmat_like_wc, "np", rmat_n(N)),
+    ("Rand-ER", er_like_wc, "np", N),
+]
+
+
+def factory(kind: str, edges: np.ndarray, n: int):
+    if kind == "np":
+        return lambda p: VertexBlockPartition(n, p)
+    if kind == "mp":
+        degrees = np.bincount(edges[:, 0], minlength=n).astype(np.int64)
+        return lambda p: EdgeBlockPartition(degrees, p)
+    return lambda p: RandomHashPartition(n, p, seed=7)
+
+
+@pytest.mark.parametrize("name,gen,kind,n", SERIES,
+                         ids=[s[0] for s in SERIES])
+def test_lp_strong_measured(benchmark, name, gen, kind, n):
+    edges = gen(N)
+    benchmark.pedantic(
+        lambda: time_analytic(edges, n, MEASURED[-1], kind, lp_fn),
+        rounds=2, iterations=1)
+
+
+def test_report_fig2(benchmark, report):
+    def build():
+        rows = []
+        for name, gen, kind, n in SERIES:
+            edges = gen(N)
+            times = [time_analytic(edges, n, p, kind, lp_fn)
+                     for p in MEASURED]
+            rows.append([name] + [round(times[0] / t, 2) for t in times])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "",
+        fmt_table(
+            ["series"] + [f"p={p}" for p in MEASURED],
+            rows,
+            title="FIG 2 (measured): LP speedup over 1 rank "
+                  "(thread ranks share one socket; modest speedups expected)",
+        ),
+    )
+
+    model_rows = []
+    speedups = {}
+    for name, gen, kind, n in SERIES:
+        edges = gen(N)
+        pts = strong_scaling_model(edges, factory(kind, edges, n),
+                                   MODELED_NODES, BLUE_WATERS,
+                                   analytic="labelprop")
+        sp = [pts[0].time_s / pt.time_s for pt in pts]
+        speedups[name] = sp
+        model_rows.append([name] + [f"{s:.2f}" for s in sp])
+    report(
+        "",
+        fmt_table(
+            ["series"] + [f"n={p}" for p in MODELED_NODES],
+            model_rows,
+            title="FIG 2 (modeled): LP speedup over the smallest count "
+                      "(8/16/32 ranks \u2259 256/512/1024 paper nodes by "
+                      "per-rank load)",
+        ),
+    )
+    # Paper shape: random partitioning outruns vertex-block at the largest
+    # node count and stays competitive with edge-block (the paper's Fig. 2
+    # shows random best, with block strategies losing to load imbalance).
+    assert speedups["WC-rand"][-1] >= speedups["WC-np"][-1]
+    assert speedups["WC-rand"][-1] >= speedups["WC-mp"][-1] * 0.9

@@ -1,0 +1,117 @@
+"""Fig. 3 — PageRank per-task computation / communication / idle ratios.
+
+The paper normalizes each task's time into comp/comm/idle components and
+plots min/avg/max across tasks for 256-1024 nodes under the three WC
+partitionings.  Measured: real trace breakdowns at 4 thread ranks.
+Modeled: the cost model at the paper's node counts.
+
+Shapes to reproduce (paper §IV-B): random partitioning has the highest
+average computation ratio (ghost lookups, lost locality) and the lowest
+idle ratios (best balance); communication share grows with node count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import fmt_table, wc_edges
+from repro.analytics import pagerank
+from repro.graph import build_dist_graph
+from repro.partition import (
+    EdgeBlockPartition,
+    RandomHashPartition,
+    VertexBlockPartition,
+)
+from repro.perf import (
+    BLUE_WATERS,
+    measured_breakdown,
+    pagerank_like_costs,
+    predict_iteration,
+)
+from repro.runtime import run_spmd, spmd_traces
+
+N = 30_000
+P_MEASURED = 4
+MODELED_NODES = (256, 512, 1024)
+
+PARTS = {
+    "WC-np": lambda p, edges: VertexBlockPartition(N, p),
+    "WC-mp": lambda p, edges: EdgeBlockPartition(
+        np.bincount(edges[:, 0], minlength=N).astype(np.int64), p),
+    "WC-rand": lambda p, edges: RandomHashPartition(N, p, seed=7),
+}
+
+
+def run_pr_traced(edges, part):
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        g = build_dist_graph(comm, chunk, part)
+        comm.trace.reset()
+        pagerank(comm, g, max_iters=10)
+        return True
+
+    run_spmd(P_MEASURED, job)
+    return measured_breakdown(spmd_traces(), region="pagerank")
+
+
+@pytest.mark.parametrize("name", sorted(PARTS))
+def test_traced_pagerank(benchmark, name):
+    edges = wc_edges(N)
+    part = PARTS[name](P_MEASURED, edges)
+    benchmark.pedantic(lambda: run_pr_traced(edges, part),
+                       rounds=2, iterations=1)
+
+
+def test_report_fig3(benchmark, report):
+    edges = wc_edges(N)
+
+    def build():
+        rows = []
+        for name, make in PARTS.items():
+            bd = run_pr_traced(edges, make(P_MEASURED, edges))
+            r = bd.ratios()
+            rows.append([name] + [
+                f"{r[c][k]:.2f}"
+                for c in ("comp", "comm", "idle")
+                for k in ("min", "avg", "max")
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    hdr = [f"{c}.{k}" for c in ("comp", "comm", "idle")
+           for k in ("min", "avg", "max")]
+    report(
+        "",
+        fmt_table(["partition"] + hdr, rows,
+                  title=f"FIG 3 (measured): PageRank time ratios, "
+                        f"{P_MEASURED} ranks"),
+    )
+
+    model_rows = []
+    ratios = {}
+    for nodes in MODELED_NODES:
+        for name, make in PARTS.items():
+            pred = predict_iteration(
+                pagerank_like_costs(edges, make(nodes, edges)), BLUE_WATERS)
+            r = pred.ratios()
+            ratios[(name, nodes)] = r
+            model_rows.append([f"{name}@{nodes}"] + [
+                f"{r[c][k]:.2f}"
+                for c in ("comp", "comm", "idle")
+                for k in ("min", "avg", "max")
+            ])
+    report(
+        "",
+        fmt_table(["config"] + hdr, model_rows,
+                  title="FIG 3 (modeled): PageRank ratios at paper node "
+                        "counts"),
+    )
+    # Paper shapes at every modeled node count:
+    for nodes in MODELED_NODES:
+        # random partitioning computes more on average (ghost overhead)...
+        assert ratios[("WC-rand", nodes)]["comp"]["avg"] >= \
+            ratios[("WC-np", nodes)]["comp"]["avg"] * 0.95
+        # ...and idles less at the max than vertex-block partitioning.
+        assert ratios[("WC-rand", nodes)]["idle"]["max"] <= \
+            ratios[("WC-np", nodes)]["idle"]["max"] + 0.05

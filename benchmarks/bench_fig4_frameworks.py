@@ -1,0 +1,150 @@
+"""Fig. 4 — PageRank & WCC vs. graph-framework baselines.
+
+The paper compares its codes (SRM) on Compton against GraphX, PowerGraph,
+PowerLyra (16 nodes) and FlashGraph (1 node, external + standalone modes).
+Here each framework class is played by an engine reproducing its cost
+structure (see ``repro.baselines``), all on the Table-I stand-ins.
+
+Shapes to reproduce: SRM wins everywhere by 1–2 orders of magnitude over
+the generic frameworks (paper: 38× geometric-mean for PR, 201× for WCC);
+FlashGraph-standalone is the closest competitor (paper: ~2.4–2.6×); the
+message-object engine fails (OOM) on the biggest graphs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import fmt_table, geometric_mean, time_analytic
+from repro.analytics import pagerank, wcc
+from repro.baselines import (
+    GASEngine,
+    GASPageRank,
+    GASWCC,
+    PregelEngine,
+    PregelPageRank,
+    PregelWCC,
+    SemiExternalEngine,
+)
+from repro.generators import load_dataset
+
+GRAPHS = ["google", "livejournal", "twitter", "pay", "host"]
+SCALE = 1.0
+PR_ITERS = 10
+SRM_RANKS = 4
+
+#: Pregel mailbox budget — scaled analogue of the frameworks' 16-node
+#: memory ceiling; the largest graphs must trip it as in the paper.
+PREGEL_MEMORY = 50e6
+
+
+def graph_of(name):
+    edges = load_dataset(name, scale=SCALE, seed=1)
+    n = int(edges.max()) + 1
+    return n, edges
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def srm_pr(n, edges):
+    return time_analytic(edges, n, SRM_RANKS, "rand",
+                         lambda c, g: pagerank(c, g, max_iters=PR_ITERS))
+
+
+def srm_wcc(n, edges):
+    return time_analytic(edges, n, SRM_RANKS, "rand", lambda c, g: wcc(c, g))
+
+
+def framework_times(n, edges, tmp_path):
+    """Times (or None on failure) of every baseline for PR and WCC."""
+    out = {}
+    pregel = PregelEngine(n, edges, memory_limit=PREGEL_MEMORY)
+    try:
+        out[("GX", "pr")] = timed(
+            lambda: pregel.run(PregelPageRank(PR_ITERS), PR_ITERS + 2))
+    except MemoryError:
+        out[("GX", "pr")] = None
+    try:
+        out[("GX", "wcc")] = timed(lambda: pregel.run(PregelWCC(), 100))
+    except MemoryError:
+        out[("GX", "wcc")] = None
+
+    for tag, hybrid in (("PG", False), ("PL", True)):
+        gas = GASEngine(n, edges, hybrid=hybrid)
+        out[(tag, "pr")] = timed(
+            lambda: gas.run(GASPageRank(PR_ITERS), PR_ITERS + 2))
+        out[(tag, "wcc")] = timed(lambda: gas.run(GASWCC(), 300))
+
+    for tag, standalone in (("FG", False), ("FG-SA", True)):
+        eng = SemiExternalEngine.from_edges(
+            n, edges, tmp_path / f"{tag}.bin", standalone=standalone)
+        out[(tag, "pr")] = timed(lambda: eng.pagerank(PR_ITERS))
+        out[(tag, "wcc")] = timed(lambda: eng.wcc_labels())
+    return out
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+def test_srm_pagerank(benchmark, name):
+    n, edges = graph_of(name)
+    benchmark.pedantic(lambda: srm_pr(n, edges), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+def test_srm_wcc(benchmark, name):
+    n, edges = graph_of(name)
+    benchmark.pedantic(lambda: srm_wcc(n, edges), rounds=2, iterations=1)
+
+
+def test_report_fig4(benchmark, report, tmp_path):
+    def build():
+        table = {}
+        for name in GRAPHS:
+            n, edges = graph_of(name)
+            table[(name, "SRM", "pr")] = srm_pr(n, edges)
+            table[(name, "SRM", "wcc")] = srm_wcc(n, edges)
+            fw = framework_times(n, edges, tmp_path)
+            for (tag, alg), t in fw.items():
+                table[(name, tag, alg)] = t
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    tags = ["SRM", "GX", "PG", "PL", "FG", "FG-SA"]
+    for alg, label in (("pr", "PageRank (10 iters)"), ("wcc", "WCC")):
+        rows = []
+        for name in GRAPHS:
+            rows.append([name] + [
+                ("FAIL" if table[(name, t, alg)] is None
+                 else round(table[(name, t, alg)], 3))
+                for t in tags
+            ])
+        report("", fmt_table(["graph"] + tags, rows,
+                             title=f"FIG 4: {label} execution time (s) — "
+                                   f"SRM vs framework stand-ins"))
+        # Geometric-mean slowdown of each framework vs SRM.
+        means = []
+        for t in tags[1:]:
+            ratios = [
+                table[(name, t, alg)] / table[(name, "SRM", alg)]
+                for name in GRAPHS if table[(name, t, alg)] is not None
+            ]
+            means.append(f"{t}: {geometric_mean(ratios):.1f}x")
+        report(f"  geomean slowdown vs SRM ({alg}): " + ", ".join(means))
+
+    # Paper shapes: the message-object engine is the slowest framework and
+    # the standalone semi-external engine the closest to SRM.
+    for name in GRAPHS:
+        srm = table[(name, "SRM", "pr")]
+        gx = table[(name, "GX", "pr")]
+        if gx is not None:
+            assert gx > 3 * srm
+        assert table[(name, "FG-SA", "pr")] < table[(name, "PG", "pr")]
+    # At least one large graph must reproduce the framework OOM failures.
+    assert any(table[(name, "GX", alg)] is None
+               for name in GRAPHS for alg in ("pr", "wcc"))

@@ -1,0 +1,64 @@
+"""Fig. 5 — frequency plot of community sizes after 30 LP iterations.
+
+The paper's distribution is heavy-tailed with a large mass of size-1/2
+communities, "strikingly similar" to the in/out-degree and component-size
+frequency plots of Meusel et al.  The bench regenerates the histogram and
+checks the tail shape (log-log slope < 0, dominated small sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import fmt_table, wc_edges
+from repro.analysis import community_size_distribution
+from repro.analytics import label_propagation
+from repro.graph import build_dist_graph
+from repro.partition import VertexBlockPartition
+from repro.runtime import run_spmd
+
+N = 30_000
+P = 4
+ITERS = 30
+
+
+def size_distribution(edges):
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = VertexBlockPartition(N, comm.size)
+        g = build_dist_graph(comm, chunk, part)
+        res = label_propagation(comm, g, n_iters=ITERS, seed=1)
+        return community_size_distribution(comm, res.labels)
+
+    return run_spmd(P, job)[0]
+
+
+def test_fig5_distribution(benchmark, report):
+    edges = wc_edges(N)
+    sizes, freq = benchmark.pedantic(lambda: size_distribution(edges),
+                                     rounds=1, iterations=1)
+
+    # Log-binned histogram (what the paper's log-log scatter shows).
+    rows = []
+    lo = 1
+    while lo <= sizes.max():
+        hi = lo * 4
+        in_bin = (sizes >= lo) & (sizes < hi)
+        rows.append([f"[{lo}, {hi})", int(freq[in_bin].sum())])
+        lo = hi
+    report("", fmt_table(["community size", "# communities"], rows,
+                         title=f"FIG 5: community size frequency after "
+                               f"{ITERS} LP iterations (n={N})"))
+
+    # Paper shapes: many singleton/tiny communities...
+    assert freq[sizes <= 2].sum() > freq[sizes > 2].sum() * 0.5
+    # ...a heavy tail reaching orders of magnitude beyond the median...
+    assert sizes.max() > 100
+    # ...and a decreasing log-log trend (power-law-like).
+    small = freq[sizes <= 4].sum()
+    mid = freq[(sizes > 4) & (sizes <= 64)].sum()
+    large = freq[sizes > 64].sum()
+    assert small > mid > large
+    # Mass check: communities partition all vertices.
+    assert int((sizes * freq).sum()) == N

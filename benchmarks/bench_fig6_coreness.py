@@ -1,0 +1,59 @@
+"""Fig. 6 — cumulative distribution of vertex coreness upper bounds.
+
+The paper sweeps the approximate k-core analytic over thresholds 2^1..2^27
+and plots the cumulative fraction of vertices with coreness ≤ k, observing
+that "at least 75% of the vertices have coreness value less than 32" and
+that only a tiny dense core survives the largest thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import fmt_table, wc_edges
+from repro.analysis import coreness_distribution, coreness_percentile
+from repro.analytics import approx_kcore
+from repro.graph import build_dist_graph
+from repro.partition import VertexBlockPartition
+from repro.runtime import run_spmd
+
+N = 30_000
+P = 4
+
+
+def run_sweep(edges):
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = VertexBlockPartition(N, comm.size)
+        g = build_dist_graph(comm, chunk, part)
+        res = approx_kcore(comm, g, max_stage=27)
+        dist = coreness_distribution(comm, res.stage_removed)
+        return dist, res.stages_run, res.survivors
+
+    return run_spmd(P, job)[0]
+
+
+def test_fig6_coreness(benchmark, report):
+    edges = wc_edges(N)
+    (k_vals, cum_frac), stages_run, survivors = benchmark.pedantic(
+        lambda: run_sweep(edges), rounds=1, iterations=1)
+
+    rows = [[int(k), f"{f:.4f}"] for k, f in zip(k_vals, cum_frac)]
+    report("", fmt_table(
+        ["coreness upper bound k", "cumulative fraction ≤ k"], rows,
+        title=f"FIG 6: vertex coreness distribution (n={N}, "
+              f"{stages_run} stages run, {survivors} full-sweep survivors)"))
+
+    q75 = coreness_percentile(k_vals, cum_frac, 0.75)
+    report(f"  75% of vertices have coreness ≤ {q75} "
+           f"(paper: < 32 for the full crawl)")
+
+    # Paper shapes: the distribution is cumulative and complete...
+    assert (np.diff(cum_frac) >= 0).all()
+    assert cum_frac[-1] == pytest.approx(1.0)
+    # ...most vertices are low-coreness...
+    assert cum_frac[min(5, len(cum_frac) - 1)] > 0.6  # ≤ 2^6-1 = 63
+    # ...and only a small dense core survives large thresholds.
+    idx_big = min(7, len(cum_frac) - 1)
+    assert cum_frac[idx_big] > 0.95

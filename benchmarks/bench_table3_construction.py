@@ -1,0 +1,108 @@
+"""Table III — parallel performance of the graph-construction stages.
+
+Measured: Read / Exchange / LocalConvert wall times of the full ingestion
+pipeline on the web-crawl stand-in for 1-4 thread ranks, with the same
+GE/s processing-rate column the paper reports.
+
+Modeled: the same stages at Blue Waters scale (128.7 B edges, 64-1024
+nodes) through the machine model, reproducing the paper's trends — read
+time dropping with task count, strong scaling of the exchange/convert
+stages, and a rising aggregate rate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import MEASURED_RANKS, fmt_table, wc_edges
+from repro.graph import build_dist_graph_with_stats
+from repro.io import striped_read, write_edges
+from repro.partition import VertexBlockPartition
+from repro.perf import BLUE_WATERS, model_construction
+from repro.runtime import MAX, run_spmd
+
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def crawl_file(tmp_path_factory):
+    edges = wc_edges(N)
+    path = tmp_path_factory.mktemp("t3") / "wc.bin"
+    write_edges(path, edges, width=32)
+    return path, len(edges)
+
+
+def construction_times(path, n, nranks):
+    """(read, exchange, convert) max-over-ranks seconds."""
+
+    def job(comm):
+        t0 = time.perf_counter()
+        chunk, info = striped_read(comm, path)
+        read_s = time.perf_counter() - t0
+        part = VertexBlockPartition(n, comm.size)
+        g, stats = build_dist_graph_with_stats(comm, chunk, part)
+        return (
+            comm.allreduce(read_s, MAX),
+            comm.allreduce(stats.exchange_s, MAX),
+            comm.allreduce(stats.convert_s, MAX),
+        )
+
+    return run_spmd(nranks, job)[0]
+
+
+@pytest.mark.parametrize("p", MEASURED_RANKS)
+def test_construction(benchmark, crawl_file, p):
+    path, m = crawl_file
+    benchmark.pedantic(
+        lambda: construction_times(path, N, p), rounds=3, iterations=1)
+
+
+def test_report_table3(benchmark, report, crawl_file):
+    path, m = crawl_file
+
+    def build():
+        rows = []
+        for p in MEASURED_RANKS:
+            read_s, exch_s, conv_s = construction_times(path, N, p)
+            total = read_s + exch_s + conv_s
+            rate = 2 * m / total / 1e9
+            rows.append([p, read_s, exch_s, conv_s, total, f"{rate:.4f}"])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        "",
+        fmt_table(
+            ["# ranks", "Read (s)", "Excg (s)", "LConv (s)", "Total (s)",
+             "Rate (GE/s)"],
+            rows,
+            title=f"TABLE III (measured): construction stages, "
+                  f"web-crawl stand-in n={N}, m={m}",
+        ),
+    )
+
+    model_rows = []
+    M_PAPER = 128.7e9
+    for nodes in (64, 128, 256, 512, 1024):
+        cm = model_construction(M_PAPER, nodes, BLUE_WATERS)
+        model_rows.append([
+            nodes, round(cm.read_s, 1), round(cm.exchange_s, 1),
+            round(cm.convert_s, 1), round(cm.total_s, 1),
+            f"{cm.rate_ge_s(M_PAPER):.2f}",
+        ])
+    report(
+        "",
+        fmt_table(
+            ["# nodes", "Read (s)", "Excg (s)", "LConv (s)", "Total (s)",
+             "Rate (GE/s)"],
+            model_rows,
+            title="TABLE III (modeled at paper scale): 128.7 B edges on "
+                  "Blue Waters",
+        ),
+    )
+    # Paper trends: total time shrinks and rate grows with node count.
+    totals = [r[4] for r in model_rows]
+    assert all(b <= a for a, b in zip(totals, totals[1:]))

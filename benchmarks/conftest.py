@@ -1,0 +1,26 @@
+"""Benchmark-suite fixtures.
+
+``report`` prints through pytest's output capture so the regenerated
+tables/figures appear on the terminal (and in ``bench_output.txt``) even
+without ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(request):
+    """Callable printing straight to the real stdout (capture disabled)."""
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _print(*lines):
+        text = "\n".join(str(x) for x in lines)
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text, flush=True)
+        else:  # pragma: no cover - capture plugin always present under pytest
+            print(text, flush=True)
+
+    return _print

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: distributed PageRank + connectivity in ~40 lines.
+
+Generates a synthetic hyperlink graph, builds the distributed CSR graph
+across 4 SPMD ranks, and runs PageRank and weakly-connected components —
+the minimal end-to-end tour of the public API.
+
+Run:  python examples/quickstart.py [--n 20000] [--ranks 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import run_spmd
+from repro.analytics import pagerank, wcc
+from repro.generators import webcrawl_edges
+from repro.graph import build_dist_graph
+from repro.partition import VertexBlockPartition
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--n", type=int, default=20_000, help="number of pages")
+    ap.add_argument("--ranks", type=int, default=4, help="SPMD ranks")
+    args = ap.parse_args()
+
+    edges = webcrawl_edges(args.n, avg_degree=12, seed=1)
+    print(f"generated crawl: {args.n:,} pages, {len(edges):,} links")
+
+    def job(comm):
+        # Each rank ingests a slice of the edge list, then the collective
+        # build redistributes edges to their owners (paper §III-A).
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = VertexBlockPartition(args.n, comm.size)
+        g = build_dist_graph(comm, chunk, part)
+
+        pr = pagerank(comm, g, max_iters=30, tol=1e-10)
+        comp = wcc(comm, g)
+        return g.unmap[: g.n_loc], pr.scores, comp.labels
+
+    outs = run_spmd(args.ranks, job)
+
+    gids = np.concatenate([o[0] for o in outs])
+    scores = np.concatenate([o[1] for o in outs])
+    labels = np.concatenate([o[2] for o in outs])
+    order = np.argsort(gids)
+    scores, labels = scores[order], labels[order]
+
+    top = np.argsort(-scores)[:5]
+    print("\ntop pages by PageRank:")
+    for v in top:
+        print(f"  page {v:>8}  score {scores[v]:.2e}")
+
+    uniq, counts = np.unique(labels, return_counts=True)
+    print(f"\nweak components: {len(uniq):,} total, "
+          f"largest has {counts.max():,} pages "
+          f"({100 * counts.max() / args.n:.1f}% of the graph)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Post-processing of analytic outputs into the paper's reported artifacts.
+
+* :func:`community_stats` / :func:`community_size_distribution` — Table V
+  and Fig. 5 from Label Propagation labels;
+* :func:`coreness_distribution` — Fig. 6 from the approximate k-core sweep;
+* :func:`label_counts` — generic distributed label histogram (also used to
+  size WCC/SCC components).
+"""
+
+from .bowtie import (
+    CORE,
+    DISCONNECTED,
+    IN,
+    OUT,
+    TENDRIL,
+    BowTie,
+    bowtie_decomposition,
+)
+from .communities import (
+    CommunityStats,
+    community_size_distribution,
+    community_stats,
+    label_counts,
+)
+from .coreness import coreness_distribution, coreness_percentile
+from .degrees import DegreeStats, degree_distribution, degree_stats
+
+__all__ = [
+    "CommunityStats",
+    "community_stats",
+    "community_size_distribution",
+    "label_counts",
+    "coreness_distribution",
+    "coreness_percentile",
+    "DegreeStats",
+    "degree_distribution",
+    "degree_stats",
+    "BowTie",
+    "bowtie_decomposition",
+    "CORE",
+    "IN",
+    "OUT",
+    "TENDRIL",
+    "DISCONNECTED",
+]

@@ -1,0 +1,62 @@
+"""Coreness distribution analysis (Fig. 6).
+
+The paper plots the cumulative fraction of vertices whose coreness upper
+bound is at most ``k``, for ``k`` sweeping powers of two.  This module
+reduces the per-rank :class:`~repro.analytics.kcore.KCoreResult` stage
+arrays into that distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import MAX, SUM, Communicator
+
+__all__ = ["coreness_distribution", "coreness_percentile"]
+
+
+def coreness_distribution(
+    comm: Communicator, stage_removed: np.ndarray, max_stage: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative coreness-bound distribution from per-rank stage arrays.
+
+    Parameters
+    ----------
+    stage_removed:
+        This rank's ``KCoreResult.stage_removed`` (stage index at which
+        each local vertex was eliminated).
+
+    Returns
+    -------
+    (k_values, cumulative_fraction):
+        ``cumulative_fraction[i]`` is the global fraction of vertices whose
+        coreness upper bound is ≤ ``k_values[i] = 2^(i+1) − 1``; identical
+        on every rank.
+    """
+    stage_removed = np.asarray(stage_removed, dtype=np.int64)
+    local_hi = int(stage_removed.max()) if len(stage_removed) else 0
+    hi = int(comm.allreduce(local_hi, MAX))
+    if max_stage is not None:
+        hi = max(hi, max_stage)
+    hist_local = np.bincount(stage_removed, minlength=hi + 1).astype(np.int64)
+    hist = comm.allreduce(hist_local, SUM)
+    total = int(hist.sum())
+    cum = np.cumsum(hist)
+    # Stage i ∈ {1..hi}; stage 0 should be empty (every vertex gets a stage).
+    stages = np.arange(1, hi + 1)
+    k_values = (1 << stages) - 1
+    frac = cum[1:] / total if total else np.zeros(hi, dtype=np.float64)
+    return k_values.astype(np.int64), frac
+
+
+def coreness_percentile(
+    k_values: np.ndarray, cum_frac: np.ndarray, quantile: float
+) -> int:
+    """Smallest k with cumulative fraction ≥ quantile (e.g. the paper's
+    "at least 75% of the vertices have coreness value less than 32")."""
+    if not (0.0 < quantile <= 1.0):
+        raise ValueError("quantile must be in (0, 1]")
+    idx = np.searchsorted(cum_frac, quantile, side="left")
+    if idx >= len(k_values):
+        return int(k_values[-1]) if len(k_values) else 0
+    return int(k_values[idx])

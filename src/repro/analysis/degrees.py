@@ -1,0 +1,79 @@
+"""Degree-distribution analysis (paper §VI context).
+
+The paper's community-size plot (Fig. 5) is noted to be "strikingly
+similar" to the in-degree, out-degree, WCC and SCC frequency plots of
+Meusel et al.'s web-structure study.  This module computes those degree
+frequency distributions distributedly so the comparison can actually be
+made (see the Fig. 5 bench and ``examples/web_analysis.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.distgraph import DistGraph
+from ..runtime import MAX, SUM, Communicator
+
+__all__ = ["DegreeStats", "degree_distribution", "degree_stats"]
+
+
+def degree_distribution(
+    comm: Communicator, g: DistGraph, direction: str = "out"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global (degree value, vertex count) frequency arrays.
+
+    Identical on every rank.  ``direction`` is ``"out"``, ``"in"`` or
+    ``"total"``.
+    """
+    if direction == "out":
+        deg = g.out_degrees()
+    elif direction == "in":
+        deg = g.in_degrees()
+    elif direction == "total":
+        deg = g.total_degrees()
+    else:
+        raise ValueError(f"direction must be 'out', 'in' or 'total', "
+                         f"got {direction!r}")
+    local_max = int(deg.max()) if len(deg) else 0
+    hi = int(comm.allreduce(local_max, MAX))
+    hist = comm.allreduce(
+        np.bincount(deg, minlength=hi + 1).astype(np.int64), SUM)
+    values = np.flatnonzero(hist).astype(np.int64)
+    return values, hist[values]
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of one degree distribution."""
+
+    direction: str
+    mean: float
+    max: int
+    zero_fraction: float  # fraction of vertices with degree 0
+    p99: int  # 99th-percentile degree
+
+    def skew(self) -> float:
+        """max/mean ratio — the imbalance driver of §III-B."""
+        return self.max / self.mean if self.mean else 0.0
+
+
+def degree_stats(comm: Communicator, g: DistGraph,
+                 direction: str = "out") -> DegreeStats:
+    """Distributed summary of a degree distribution (identical per rank)."""
+    values, counts = degree_distribution(comm, g, direction)
+    total = int(counts.sum())
+    if total == 0:
+        return DegreeStats(direction, 0.0, 0, 0.0, 0)
+    mass = float((values * counts).sum())
+    cum = np.cumsum(counts)
+    p99 = int(values[np.searchsorted(cum, 0.99 * total)])
+    zero = int(counts[values == 0].sum()) if (values == 0).any() else 0
+    return DegreeStats(
+        direction=direction,
+        mean=mass / total,
+        max=int(values.max()),
+        zero_fraction=zero / total,
+        p99=p99,
+    )

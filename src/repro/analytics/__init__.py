@@ -1,0 +1,95 @@
+"""The six graph analytics of the paper, plus the shared kernels.
+
+PageRank-like (value propagation with retained-queue halo exchanges):
+
+* :func:`pagerank` — power-iteration PageRank;
+* :func:`label_propagation` — community detection;
+* the coloring phase of :func:`wcc`.
+
+BFS-like (frontier expansion, Algorithm 2):
+
+* :func:`distributed_bfs` — the shared level-synchronous kernel;
+* :func:`largest_scc` / :func:`scc` — Forward–Backward SCC with trimming;
+* :func:`harmonic_centrality` — reverse-BFS reciprocal-distance sums;
+* :func:`approx_kcore` — geometric coreness-bound sweep;
+* phase 1 of :func:`wcc` (Multistep).
+
+All functions are SPMD: call them from within :func:`repro.runtime.run_spmd`
+with this rank's :class:`~repro.graph.DistGraph`.
+"""
+
+from .betweenness import BetweennessResult, betweenness_centrality
+from .bfs import distributed_bfs
+from .bfs_dirop import distributed_bfs_dirop
+from .diameter import DiameterEstimate, estimate_diameter
+from .closeness import ClosenessResult, closeness_centrality
+from .common import NOT_VISITED, QUEUED, combined_adjacency, global_max_degree_vertex
+from .delta_stepping import DeltaSteppingResult, delta_stepping
+from .exchange import HaloExchange
+from .hits import HITSResult, hits
+from .harmonic import (
+    HarmonicResult,
+    harmonic_centrality,
+    harmonic_centrality_many,
+    top_degree_vertices,
+)
+from .kcore import KCoreResult, approx_kcore
+from .kcore_exact import ExactKCoreResult, exact_kcore
+from .label_propagation import LabelPropagationResult, label_propagation
+from .pagerank import PageRankResult, pagerank
+from .scc import SCCResult, largest_scc, scc
+from .sssp import SSSPResult, default_weights, sssp
+from .triangles import TriangleResult, triangle_count
+from .validation import (
+    validate_bfs_levels,
+    validate_components,
+    validate_distances,
+    validate_pagerank,
+)
+from .wcc import WCCResult, wcc
+
+__all__ = [
+    "HaloExchange",
+    "distributed_bfs",
+    "pagerank",
+    "PageRankResult",
+    "label_propagation",
+    "LabelPropagationResult",
+    "wcc",
+    "WCCResult",
+    "largest_scc",
+    "scc",
+    "SCCResult",
+    "harmonic_centrality",
+    "harmonic_centrality_many",
+    "top_degree_vertices",
+    "HarmonicResult",
+    "approx_kcore",
+    "KCoreResult",
+    "exact_kcore",
+    "ExactKCoreResult",
+    "distributed_bfs_dirop",
+    "sssp",
+    "SSSPResult",
+    "default_weights",
+    "triangle_count",
+    "TriangleResult",
+    "estimate_diameter",
+    "DiameterEstimate",
+    "delta_stepping",
+    "DeltaSteppingResult",
+    "validate_bfs_levels",
+    "validate_components",
+    "validate_pagerank",
+    "validate_distances",
+    "betweenness_centrality",
+    "BetweennessResult",
+    "hits",
+    "HITSResult",
+    "closeness_centrality",
+    "ClosenessResult",
+    "NOT_VISITED",
+    "QUEUED",
+    "combined_adjacency",
+    "global_max_degree_vertex",
+]

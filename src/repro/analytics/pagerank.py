@@ -1,0 +1,124 @@
+"""Distributed PageRank by power iteration (paper §III-D1).
+
+The prototypical "PageRank-like" analytic: every iteration each vertex's
+rank mass flows along its out-edges; ghost values are refreshed with one
+retained-queue halo exchange per iteration.  The computation per rank is
+one segmented sum over the local in-edge CSR — the paper's inner loop over
+adjacencies, vectorized.
+
+Dangling vertices (zero out-degree, ubiquitous in web crawls) distribute
+their mass uniformly, matching the standard formulation (and NetworkX, used
+as the correctness oracle in tests).  The stopping criterion is either a
+fixed iteration count (the paper reports fixed 10-iteration runs) or an
+L1-error tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import segment_sum
+from ..graph.distgraph import DistGraph
+from ..runtime import SUM, Communicator
+from .exchange import HaloExchange
+
+__all__ = ["PageRankResult", "pagerank"]
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Per-rank PageRank output."""
+
+    scores: np.ndarray  # PageRank of each locally-owned vertex
+    n_iters: int
+    final_delta: float  # global L1 change of the last iteration
+
+
+def pagerank(
+    comm: Communicator,
+    g: DistGraph,
+    damping: float = 0.85,
+    max_iters: int = 10,
+    tol: float | None = None,
+    halo: HaloExchange | None = None,
+    personalization: np.ndarray | None = None,
+) -> PageRankResult:
+    """Compute PageRank of every vertex of the distributed graph.
+
+    Parameters
+    ----------
+    damping:
+        Teleport damping factor d; scores solve
+        ``x = (1-d) t + d (P^T x + dangling · t)`` where ``t`` is the
+        teleport distribution (uniform by default).
+    max_iters:
+        Iteration budget.
+    tol:
+        Optional global L1 convergence threshold; when given, iteration
+        stops early once ``sum |x_new - x| < tol``.
+    halo:
+        Prebuilt exchange to reuse across analytics (built if omitted).
+    personalization:
+        Optional non-negative teleport weight per *locally-owned* vertex
+        (length ``n_loc``); normalized globally.  Dangling mass follows the
+        same distribution, matching NetworkX's personalized PageRank.
+
+    Returns
+    -------
+    PageRankResult
+        Scores sum to 1 across all ranks (up to floating-point error).
+    """
+    if not (0.0 < damping < 1.0):
+        raise ValueError("damping must be in (0, 1)")
+    if max_iters < 0:
+        raise ValueError("max_iters must be non-negative")
+    with comm.region("pagerank"):
+        if halo is None:
+            halo = HaloExchange(comm, g)
+        n_loc, n_tot, n = g.n_loc, g.n_total, g.n_global
+
+        if personalization is None:
+            teleport = np.full(n_loc, 1.0 / n, dtype=np.float64)
+        else:
+            personalization = np.asarray(personalization, dtype=np.float64)
+            if personalization.shape != (n_loc,):
+                raise ValueError(
+                    f"personalization must have length n_loc={n_loc}")
+            if len(personalization) and personalization.min() < 0:
+                raise ValueError("personalization weights must be >= 0")
+            total = comm.allreduce(float(personalization.sum()), SUM)
+            if total <= 0:
+                raise ValueError("personalization must have positive mass")
+            teleport = personalization / total
+
+        # Ghost out-degrees are needed to normalize contributions.
+        outdeg = np.zeros(n_tot, dtype=np.float64)
+        outdeg[:n_loc] = g.out_degrees()
+        halo.exchange(outdeg)
+
+        x = np.full(n_tot, 1.0 / n, dtype=np.float64)
+        x[:n_loc] = teleport  # start at the teleport distribution
+        halo.exchange(x)
+        base = (1.0 - damping) * teleport
+        dangling_local = outdeg[:n_loc] == 0
+
+        n_iters = 0
+        delta = float("inf")
+        safe_outdeg = np.where(outdeg > 0, outdeg, 1.0)
+        for _ in range(max_iters):
+            contrib = x / safe_outdeg
+            contrib[outdeg == 0] = 0.0
+            sums = segment_sum(g.in_indexes, contrib[g.in_edges])
+            dangling = comm.allreduce(float(x[:n_loc][dangling_local].sum()), SUM)
+            x_new = base + damping * (sums + dangling * teleport)
+            delta = comm.allreduce(float(np.abs(x_new - x[:n_loc]).sum()), SUM)
+            x[:n_loc] = x_new
+            halo.exchange(x)
+            n_iters += 1
+            if tol is not None and delta < tol:
+                break
+
+        return PageRankResult(scores=x[:n_loc].copy(), n_iters=n_iters,
+                              final_delta=float(delta))

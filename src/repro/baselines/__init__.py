@@ -1,0 +1,44 @@
+"""Framework baselines for the Fig. 4 comparison, plus correctness oracles.
+
+Each engine reproduces the *cost structure* of one class of framework the
+paper compares against:
+
+* :class:`PregelEngine` — per-vertex message-object supersteps
+  (GraphX / Giraph class), including the memory-budget failure mode;
+* :class:`GASEngine` — gather-apply-scatter with vertex-cut mirror
+  synchronization (PowerGraph; ``hybrid=True`` models PowerLyra);
+* :class:`SemiExternalEngine` — in-memory vertex state over streamed
+  on-disk edges (FlashGraph; ``standalone=True`` is FG's in-memory mode);
+* :mod:`~repro.baselines.networkx_ref` — NetworkX references used as the
+  correctness oracle in tests.
+"""
+
+from .gas import GASEngine, GASPageRank, GASProgram, GASWCC
+from .networkx_ref import (
+    coreness_ref,
+    digraph_from_edges,
+    harmonic_ref,
+    largest_scc_ref,
+    pagerank_ref,
+    wcc_labels_ref,
+)
+from .pregel import PregelEngine, PregelPageRank, PregelWCC, VertexProgram
+from .semi_external import SemiExternalEngine
+
+__all__ = [
+    "PregelEngine",
+    "VertexProgram",
+    "PregelPageRank",
+    "PregelWCC",
+    "GASEngine",
+    "GASProgram",
+    "GASPageRank",
+    "GASWCC",
+    "SemiExternalEngine",
+    "digraph_from_edges",
+    "pagerank_ref",
+    "wcc_labels_ref",
+    "largest_scc_ref",
+    "harmonic_ref",
+    "coreness_ref",
+]

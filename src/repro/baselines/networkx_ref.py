@@ -1,0 +1,74 @@
+"""NetworkX reference implementations — the correctness oracle.
+
+These single-threaded references define expected outputs for the
+distributed analytics in the test suite.  They are *not* performance
+baselines (NetworkX stores graphs as dict-of-dicts; Fig. 4's framework
+baselines live in :mod:`repro.baselines.pregel` / ``gas`` /
+``semi_external``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "digraph_from_edges",
+    "pagerank_ref",
+    "wcc_labels_ref",
+    "largest_scc_ref",
+    "harmonic_ref",
+    "coreness_ref",
+]
+
+
+def digraph_from_edges(n: int, edges: np.ndarray) -> nx.DiGraph:
+    """Directed graph on vertices ``0..n-1`` (parallel edges collapsed)."""
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    G.add_edges_from(map(tuple, np.asarray(edges)))
+    return G
+
+
+def pagerank_ref(n: int, edges: np.ndarray, damping: float = 0.85,
+                 tol: float = 1e-12) -> np.ndarray:
+    """PageRank scores as a dense vector."""
+    G = digraph_from_edges(n, edges)
+    pr = nx.pagerank(G, alpha=damping, tol=tol, max_iter=1000)
+    return np.array([pr[i] for i in range(n)])
+
+
+def wcc_labels_ref(n: int, edges: np.ndarray) -> np.ndarray:
+    """Weak-component labels: minimum member id per component."""
+    G = digraph_from_edges(n, edges)
+    labels = np.empty(n, dtype=np.int64)
+    for comp in nx.weakly_connected_components(G):
+        m = min(comp)
+        for v in comp:
+            labels[v] = m
+    return labels
+
+
+def largest_scc_ref(n: int, edges: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of the largest strongly connected component."""
+    G = digraph_from_edges(n, edges)
+    comp = max(nx.strongly_connected_components(G), key=lambda c: (len(c), -min(c)))
+    mask = np.zeros(n, dtype=bool)
+    mask[list(comp)] = True
+    return mask
+
+
+def harmonic_ref(n: int, edges: np.ndarray, v: int) -> float:
+    """Harmonic centrality of one vertex (sum of 1/d(u, v))."""
+    G = digraph_from_edges(n, edges)
+    return float(nx.harmonic_centrality(G, nbunch=[v])[v])
+
+
+def coreness_ref(n: int, edges: np.ndarray) -> np.ndarray:
+    """Exact coreness of every vertex on the undirected simple graph."""
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    e = np.asarray(edges)
+    G.add_edges_from(map(tuple, e[e[:, 0] != e[:, 1]]))  # drop self-loops
+    core = nx.core_number(G)
+    return np.array([core[i] for i in range(n)], dtype=np.int64)

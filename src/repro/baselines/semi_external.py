@@ -1,0 +1,104 @@
+"""A semi-external-memory engine (the FlashGraph stand-in).
+
+FlashGraph keeps vertex state in RAM and streams edge lists from an SSD
+array.  The stand-in does the same on one node: the edge list lives in a
+memory-mapped binary file and every iteration streams it in fixed-size
+chunks, applying vectorized updates to the in-memory vertex arrays.
+
+Two modes mirror the paper's Fig. 4 configurations:
+
+* ``standalone=True`` (``FG-SA``): the file is pre-loaded into RAM — only
+  the chunked execution structure remains, so performance lands close to
+  the tuned code (the paper measured ~2.4–2.6× slower than theirs);
+* ``standalone=False`` (``FG``): every pass re-reads the file through the
+  OS, adding the external-memory penalty (the paper measured ~12–19×).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..io.edgelist import EDGE_DTYPES, count_edges, write_edges
+
+__all__ = ["SemiExternalEngine"]
+
+
+class SemiExternalEngine:
+    """Chunk-streaming edge engine over a binary edge file."""
+
+    def __init__(self, n: int, path: str | Path, width: int = 32,
+                 chunk_edges: int = 1 << 18, standalone: bool = False):
+        self.n = n
+        self.path = Path(path)
+        self.width = width
+        self.chunk_edges = int(chunk_edges)
+        self.standalone = standalone
+        self.m = count_edges(path, width)
+        self._ram: np.ndarray | None = None
+        if standalone:
+            self._ram = self._load_all()
+
+    @classmethod
+    def from_edges(cls, n: int, edges: np.ndarray, path: str | Path,
+                   **kwargs) -> "SemiExternalEngine":
+        """Write ``edges`` to ``path`` and open an engine over it."""
+        write_edges(path, edges, width=kwargs.get("width", 32))
+        return cls(n, path, **kwargs)
+
+    def _load_all(self) -> np.ndarray:
+        dt = EDGE_DTYPES[self.width]
+        data = np.fromfile(self.path, dtype=dt)
+        return data.astype(np.int64).reshape(-1, 2)
+
+    def _chunks(self):
+        """Yield (src, dst) int64 chunk views in file order."""
+        if self.standalone:
+            assert self._ram is not None
+            for lo in range(0, self.m, self.chunk_edges):
+                chunk = self._ram[lo : lo + self.chunk_edges]
+                yield chunk[:, 0], chunk[:, 1]
+            return
+        dt = EDGE_DTYPES[self.width]
+        mm = np.memmap(self.path, dtype=dt, mode="r")
+        for lo in range(0, self.m, self.chunk_edges):
+            flat = np.asarray(mm[2 * lo : 2 * (lo + self.chunk_edges)])
+            chunk = flat.astype(np.int64).reshape(-1, 2)
+            yield chunk[:, 0], chunk[:, 1]
+
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n, dtype=np.int64)
+        for src, _ in self._chunks():
+            deg += np.bincount(src, minlength=self.n)
+        return deg
+
+    def pagerank(self, n_iters: int = 10, damping: float = 0.85) -> np.ndarray:
+        """Streaming power iteration with dangling redistribution."""
+        deg = self.out_degrees()
+        safe = np.maximum(deg, 1)
+        x = np.full(self.n, 1.0 / self.n)
+        base = (1.0 - damping) / self.n
+        for _ in range(n_iters):
+            contrib = x / safe
+            contrib[deg == 0] = 0.0
+            acc = np.zeros(self.n)
+            for src, dst in self._chunks():
+                acc += np.bincount(dst, weights=contrib[src], minlength=self.n)
+            dangling = x[deg == 0].sum()
+            x = base + damping * (acc + dangling / self.n)
+        return x
+
+    def wcc_labels(self, max_iters: int = 10_000) -> np.ndarray:
+        """Min-label propagation over streamed edges until fixpoint."""
+        labels = np.arange(self.n, dtype=np.int64)
+        for _ in range(max_iters):
+            new = labels.copy()
+            for src, dst in self._chunks():
+                np.minimum.at(new, dst, labels[src])
+                np.minimum.at(new, src, labels[dst])
+            if np.array_equal(new, labels):
+                break
+            labels = new
+        return labels

@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's end-to-end pipeline as a tool:
+
+* ``generate`` — synthesize a Table-I stand-in (or raw R-MAT/ER/web graph)
+  into the binary edge-list format;
+* ``convert`` — SNAP-style text ↔ binary edge lists;
+* ``info`` — file and degree statistics of a binary edge list;
+* ``partition`` — score vertex-block / edge-block / random / PuLP
+  partitionings of a graph;
+* ``analyze`` — run any subset of the analytics over a binary edge list on
+  ``--ranks`` SPMD ranks and print a report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+# ---------------------------------------------------------------------------
+# subcommand: generate
+# ---------------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .generators import (
+        dataset_names,
+        erdos_renyi_edges,
+        load_dataset,
+        rmat_edges,
+        webcrawl_edges,
+    )
+    from .io import write_edges
+
+    if args.kind in dataset_names():
+        edges = load_dataset(args.kind, scale=args.scale, seed=args.seed)
+    elif args.kind == "rmat-raw":
+        scale = int(np.ceil(np.log2(max(2, args.n))))
+        edges = rmat_edges(scale, m=int(args.degree * args.n), seed=args.seed)
+    elif args.kind == "er-raw":
+        edges = erdos_renyi_edges(args.n, int(args.degree * args.n),
+                                  seed=args.seed)
+    elif args.kind == "web-raw":
+        edges = webcrawl_edges(args.n, avg_degree=args.degree, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.kind)
+    nbytes = write_edges(args.output, edges, width=args.width)
+    n = int(edges.max()) + 1 if len(edges) else 0
+    print(f"wrote {args.output}: {len(edges):,} edges, "
+          f"max vertex id {n - 1}, {nbytes / 1e6:.1f} MB")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# subcommand: convert
+# ---------------------------------------------------------------------------
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .io import read_edges, text_to_binary, write_text_edges
+
+    src, dst = Path(args.input), Path(args.output)
+    if args.to == "binary":
+        m = text_to_binary(src, dst, width=args.width)
+    else:
+        edges = read_edges(src, width=args.width)
+        write_text_edges(dst, edges)
+        m = len(edges)
+    print(f"converted {m:,} edges: {src} -> {dst}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# subcommand: info
+# ---------------------------------------------------------------------------
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .io import count_edges, read_edges
+
+    m = count_edges(args.input, width=args.width)
+    edges = read_edges(args.input, width=args.width)
+    n = int(edges.max()) + 1 if m else 0
+    out_deg = np.bincount(edges[:, 0], minlength=n)
+    in_deg = np.bincount(edges[:, 1], minlength=n)
+    print(f"{args.input}")
+    print(f"  edges:        {m:,}")
+    print(f"  vertices:     {n:,} (max id + 1)")
+    if n:
+        print(f"  avg degree:   {m / n:.2f}")
+        print(f"  max out-deg:  {out_deg.max():,}")
+        print(f"  max in-deg:   {in_deg.max():,}")
+        total = out_deg + in_deg
+        print(f"  isolated:     {(total == 0).sum():,} "
+              f"({100 * (total == 0).mean():.1f}%)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# subcommand: partition
+# ---------------------------------------------------------------------------
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .io import read_edges
+    from .partition import (
+        EdgeBlockPartition,
+        RandomHashPartition,
+        VertexBlockPartition,
+        evaluate_partition,
+        pulp_partition,
+    )
+
+    edges = read_edges(args.input, width=args.width)
+    n = int(edges.max()) + 1 if len(edges) else 1
+    degrees = np.bincount(edges[:, 0], minlength=n).astype(np.int64)
+    parts = {
+        "vertex-block": VertexBlockPartition(n, args.parts),
+        "edge-block": EdgeBlockPartition(degrees, args.parts),
+        "random": RandomHashPartition(n, args.parts, seed=args.seed),
+    }
+    if args.pulp:
+        parts["pulp"] = pulp_partition(edges, n, args.parts, seed=args.seed)
+    print(f"{'strategy':<14} {'vtx imbal':>10} {'edge imbal':>11} "
+          f"{'cut frac':>9} {'max ghosts':>11}")
+    for name, part in parts.items():
+        st = evaluate_partition(part, edges)
+        print(f"{name:<14} {st.vertex_imbalance:>10.3f} "
+              f"{st.edge_imbalance:>11.3f} {st.cut_fraction:>9.3f} "
+              f"{int(st.ghost_counts.max()):>11,}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# subcommand: analyze
+# ---------------------------------------------------------------------------
+ANALYTIC_CHOICES = ("pagerank", "labelprop", "wcc", "scc", "harmonic",
+                    "kcore", "sssp", "triangles", "diameter", "hits",
+                    "closeness", "betweenness")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analytics import (
+        HaloExchange,
+        approx_kcore,
+        betweenness_centrality,
+        closeness_centrality,
+        estimate_diameter,
+        harmonic_centrality,
+        hits,
+        label_propagation,
+        largest_scc,
+        pagerank,
+        sssp,
+        top_degree_vertices,
+        triangle_count,
+        wcc,
+    )
+    from .graph import build_dist_graph
+    from .io import striped_read
+    from .partition import (
+        EdgeBlockPartition,
+        RandomHashPartition,
+        VertexBlockPartition,
+    )
+    from .runtime import SUM, run_spmd
+
+    which = args.analytics or list(ANALYTIC_CHOICES)
+    from .io import count_edges, read_edge_range
+
+    # Determine n without loading everything twice.
+    m = count_edges(args.input, width=args.width)
+    n = 0
+    for lo in range(0, m, 1 << 20):
+        chunk = read_edge_range(args.input, lo, min(1 << 20, m - lo),
+                                width=args.width)
+        n = max(n, int(chunk.max()) + 1 if len(chunk) else 0)
+
+    def job(comm):
+        chunk, _ = striped_read(comm, args.input, width=args.width)
+        if args.partition == "vblock":
+            part = VertexBlockPartition(n, comm.size)
+        elif args.partition == "eblock":
+            part = EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
+        else:
+            part = RandomHashPartition(n, comm.size, seed=7)
+        g = build_dist_graph(comm, chunk, part)
+        halo = HaloExchange(comm, g)
+        report: list[tuple[str, float, str]] = []
+
+        def run(name, fn):
+            comm.barrier()
+            t0 = time.perf_counter()
+            summary = fn()
+            comm.barrier()
+            report.append((name, time.perf_counter() - t0, summary))
+
+        hub = int(top_degree_vertices(comm, g, 1)[0]) if n else 0
+        if "pagerank" in which:
+            def _pr():
+                s = pagerank(comm, g, max_iters=args.iters, halo=halo)
+                total = comm.allreduce(float(s.scores.sum()), SUM)
+                return f"sum={total:.6f}"
+            run("pagerank", _pr)
+        if "labelprop" in which:
+            def _lp():
+                from .analysis import label_counts
+
+                r = label_propagation(comm, g, n_iters=args.iters, halo=halo)
+                keys, _ = label_counts(comm, r.labels)
+                return f"{len(keys)} communities"
+            run("labelprop", _lp)
+        if "wcc" in which:
+            def _wcc():
+                r = wcc(comm, g, halo=halo)
+                giant = comm.allreduce(
+                    int((r.labels == r.giant_label).sum()), SUM)
+                return f"giant={giant}"
+            run("wcc", _wcc)
+        if "scc" in which:
+            run("scc", lambda: f"largest={largest_scc(comm, g, halo=halo).size}")
+        if "harmonic" in which:
+            run("harmonic",
+                lambda: f"hc({hub})={harmonic_centrality(comm, g, hub).score:.2f}")
+        if "kcore" in which:
+            run("kcore", lambda: f"stages={approx_kcore(comm, g, halo=halo).stages_run}")
+        if "sssp" in which:
+            run("sssp", lambda: f"reached={sssp(comm, g, hub, halo=halo).reached}")
+        if "triangles" in which:
+            run("triangles", lambda: f"total={triangle_count(comm, g, halo=halo).total}")
+        if "diameter" in which:
+            run("diameter",
+                lambda: f">= {estimate_diameter(comm, g).lower_bound}")
+        if "hits" in which:
+            run("hits", lambda: f"iters={hits(comm, g, max_iters=args.iters, halo=halo).n_iters}")
+        if "closeness" in which:
+            run("closeness",
+                lambda: f"cc({hub})={closeness_centrality(comm, g, hub).score:.4f}")
+        if "betweenness" in which:
+            run("betweenness",
+                lambda: f"sampled k=4, sources={betweenness_centrality(comm, g, k=min(4, max(1, n)), halo=halo).n_sources}")
+        return report
+
+    t0 = time.perf_counter()
+    report = run_spmd(args.ranks, job)[0]
+    wall = time.perf_counter() - t0
+    print(f"{args.input}: n={n:,}, m={m:,}, {args.ranks} ranks, "
+          f"{args.partition} partitioning")
+    for name, dt, summary in report:
+        print(f"  {name:<12} {dt:8.3f} s   {summary}")
+    print(f"  {'TOTAL':<12} {wall:8.3f} s (incl. ingest + build)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    from .generators import dataset_names
+
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a graph to a binary file")
+    g.add_argument("kind", choices=list(dataset_names()) +
+                   ["rmat-raw", "er-raw", "web-raw"])
+    g.add_argument("output", type=Path)
+    g.add_argument("--scale", type=float, default=1.0)
+    g.add_argument("--n", type=int, default=10_000)
+    g.add_argument("--degree", type=float, default=16.0)
+    g.add_argument("--seed", type=int, default=1)
+    g.add_argument("--width", type=int, default=32, choices=(32, 64))
+    g.set_defaults(fn=_cmd_generate)
+
+    c = sub.add_parser("convert", help="convert text <-> binary edge lists")
+    c.add_argument("input", type=Path)
+    c.add_argument("output", type=Path)
+    c.add_argument("--to", choices=("binary", "text"), default="binary")
+    c.add_argument("--width", type=int, default=32, choices=(32, 64))
+    c.set_defaults(fn=_cmd_convert)
+
+    i = sub.add_parser("info", help="inspect a binary edge list")
+    i.add_argument("input", type=Path)
+    i.add_argument("--width", type=int, default=32, choices=(32, 64))
+    i.set_defaults(fn=_cmd_info)
+
+    q = sub.add_parser("partition", help="score partitioning strategies")
+    q.add_argument("input", type=Path)
+    q.add_argument("--parts", type=int, default=8)
+    q.add_argument("--seed", type=int, default=1)
+    q.add_argument("--pulp", action="store_true",
+                   help="also run the PuLP-style partitioner")
+    q.add_argument("--width", type=int, default=32, choices=(32, 64))
+    q.set_defaults(fn=_cmd_partition)
+
+    a = sub.add_parser("analyze", help="run analytics over a binary file")
+    a.add_argument("input", type=Path)
+    a.add_argument("--ranks", type=int, default=4)
+    a.add_argument("--partition", choices=("vblock", "eblock", "rand"),
+                   default="vblock")
+    a.add_argument("--iters", type=int, default=10)
+    a.add_argument("--analytics", nargs="*", choices=ANALYTIC_CHOICES,
+                   help="subset to run (default: all)")
+    a.add_argument("--width", type=int, default=32, choices=(32, 64))
+    a.set_defaults(fn=_cmd_analyze)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

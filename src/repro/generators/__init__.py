@@ -1,0 +1,24 @@
+"""Graph generators: R-MAT, Erdős–Rényi, and the web-crawl stand-in.
+
+All generators are deterministic in their seed and return ``(m, 2)`` int64
+edge arrays compatible with the binary edge-list format and the distributed
+builder.  :mod:`~repro.generators.datasets` maps the paper's Table I rows
+to scaled synthetic equivalents.
+"""
+
+from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .erdos_renyi import erdos_renyi_edges
+from .rmat import rmat_edges
+from .webgraph import WebCrawlSynth, webcrawl, webcrawl_edges
+
+__all__ = [
+    "rmat_edges",
+    "erdos_renyi_edges",
+    "webcrawl",
+    "webcrawl_edges",
+    "WebCrawlSynth",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+]

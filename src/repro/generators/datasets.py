@@ -1,0 +1,100 @@
+"""Scaled stand-ins for the paper's graph inventory (Table I).
+
+The paper's real datasets are not redistributable offline, so each entry is
+a deterministic synthetic graph whose *average degree*, *degree skew* and
+*community structure* match the original's character at a configurable
+scale.  ``scale=1.0`` gives laptop-sized defaults; benches shrink or grow
+them uniformly.
+
+===========  ============================  =====================================
+Name         Paper original                 Stand-in
+===========  ============================  =====================================
+web-crawl    2012 WDC page graph, d̄=36     webcrawl generator, d̄=36
+host         WDC host graph, d̄=22          webcrawl generator, d̄=22
+pay          WDC pay-level-domain, d̄=16    webcrawl generator, d̄=16
+twitter      Twitter crawl, d̄=38           R-MAT (skewed, no communities), d̄=38
+livejournal  SNAP LiveJournal, d̄=14        webcrawl generator, d̄=14
+google       SNAP web-Google, d̄=5.8        webcrawl generator, d̄=5.8
+rmat         R-MAT matched to WC            rmat generator, d̄=36
+rand-er      Erdős–Rényi matched to WC      erdos_renyi generator, d̄=36
+===========  ============================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .erdos_renyi import erdos_renyi_edges
+from .rmat import rmat_edges
+from .webgraph import webcrawl_edges
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-I row: a named graph recipe at unit scale."""
+
+    name: str
+    paper_n: float  # vertices in the paper's original (for reporting)
+    paper_m: float
+    avg_degree: float
+    base_n: int  # stand-in vertex count at scale=1.0
+    generator: Callable[[int, float, int], np.ndarray]
+
+    def generate(self, scale: float = 1.0, seed: int = 1) -> np.ndarray:
+        """Edge list of the stand-in at the requested scale."""
+        n = max(64, int(round(self.base_n * scale)))
+        return self.generator(n, self.avg_degree, seed)
+
+    def n_for(self, scale: float = 1.0) -> int:
+        return max(64, int(round(self.base_n * scale)))
+
+
+def _web(n: int, d: float, seed: int) -> np.ndarray:
+    return webcrawl_edges(n, avg_degree=d, seed=seed)
+
+
+def _rmat(n: int, d: float, seed: int) -> np.ndarray:
+    scale = max(6, int(np.ceil(np.log2(n))))
+    return rmat_edges(scale, m=int(round(d * n)), seed=seed)
+
+
+def _er(n: int, d: float, seed: int) -> np.ndarray:
+    return erdos_renyi_edges(n, int(round(d * n)), seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        DatasetSpec("web-crawl", 3.56e9, 128.7e9, 36.0, 40_000, _web),
+        DatasetSpec("host", 89e6, 2.0e9, 22.0, 20_000, _web),
+        DatasetSpec("pay", 39e6, 623e6, 16.0, 12_000, _web),
+        DatasetSpec("twitter", 53e6, 2.0e9, 38.0, 16_384, _rmat),
+        DatasetSpec("livejournal", 4.8e6, 69e6, 14.0, 10_000, _web),
+        DatasetSpec("google", 875e3, 5.1e6, 5.8, 6_000, _web),
+        DatasetSpec("rmat", 3.56e9, 129e9, 36.0, 32_768, _rmat),
+        DatasetSpec("rand-er", 3.56e9, 129e9, 36.0, 40_000, _er),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of all Table-I stand-ins."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 1) -> np.ndarray:
+    """Generate the named stand-in's edge list.
+
+    Raises ``KeyError`` with the available names on a typo.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from None
+    return spec.generate(scale=scale, seed=seed)

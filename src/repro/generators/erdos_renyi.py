@@ -1,0 +1,28 @@
+"""Erdős–Rényi random graphs ("Rand-ER" in the paper).
+
+The paper pairs every R-MAT experiment with a uniform random graph of the
+same size: same edge count, but no degree skew and no locality, isolating
+the effect of skew on load balance.  We generate the ``G(n, m)``-with-
+replacement variant (m independent uniform edges; duplicates and self-loops
+possible) to mirror the R-MAT generator's conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["erdos_renyi_edges"]
+
+
+def erdos_renyi_edges(n: int, m: int, seed: int = 1) -> np.ndarray:
+    """Generate ``m`` independent uniformly-random directed edges on ``n`` vertices.
+
+    Returns an ``(m, 2)`` int64 array.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return edges

@@ -1,0 +1,183 @@
+"""Synthetic hyperlink-graph stand-in for the 2012 Web Data Commons crawl.
+
+The real Web Crawl (3.56 B vertices, 128.7 B edges, ~1 TB on disk) is not
+available offline, so this generator produces a scaled-down directed graph
+with the structural features the paper identifies as performance-relevant:
+
+* **heavy-tailed in/out degree distributions** (Pareto weights; drives the
+  load imbalance the paper sees with block partitioning);
+* **host-level communities with consecutive vertex ids** (pages of a site
+  link densely to each other and are crawled together, which is why natural
+  vertex order has locality and why Label Propagation finds large
+  communities — Table V / Fig. 5);
+* **a giant weakly/strongly connected component plus many tiny components
+  and isolated vertices** (the bow-tie structure of Meusel et al. that the
+  WCC/SCC analytics expose);
+* **zero-degree and dangling vertices** (pages never linked / never
+  crawled), which exercise PageRank's dangling-mass handling.
+
+The generator is a directed Chung–Lu model with planted communities:
+every edge picks its source ∝ out-weight; with probability ``p_intra`` the
+destination is drawn ∝ in-weight *within the source's community*, else
+∝ in-weight globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WebCrawlSynth", "webcrawl", "webcrawl_edges"]
+
+
+@dataclass(frozen=True)
+class WebCrawlSynth:
+    """A generated crawl: edge list plus ground-truth host communities."""
+
+    edges: np.ndarray  # (m, 2) int64
+    n: int
+    community: np.ndarray  # (n,) community id per vertex
+    community_sizes: np.ndarray  # size per community id
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    @property
+    def n_communities(self) -> int:
+        return len(self.community_sizes)
+
+
+def _pareto_weights(rng: np.random.Generator, n: int, alpha: float) -> np.ndarray:
+    """Heavy-tailed positive weights with tail exponent ``alpha``."""
+    return (1.0 + rng.pareto(alpha, size=n))
+
+
+def _community_sizes(rng: np.random.Generator, n: int, mean_size: float,
+                     alpha: float) -> np.ndarray:
+    """Power-law community sizes summing exactly to ``n``."""
+    sizes = []
+    remaining = n
+    while remaining > 0:
+        batch = np.maximum(
+            1, (mean_size / 2.0 * (1.0 + rng.pareto(alpha, size=256))).astype(np.int64)
+        )
+        for s in batch:
+            s = int(min(s, remaining))
+            sizes.append(s)
+            remaining -= s
+            if remaining == 0:
+                break
+    return np.array(sizes, dtype=np.int64)
+
+
+def webcrawl(
+    n: int,
+    avg_degree: float = 16.0,
+    p_intra: float = 0.72,
+    degree_alpha: float = 1.8,
+    community_alpha: float = 1.6,
+    mean_community_size: float = 40.0,
+    zero_fraction: float = 0.04,
+    popularity_alpha: float = 1.3,
+    seed: int = 1,
+) -> WebCrawlSynth:
+    """Generate a synthetic web crawl of ``n`` pages.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (pages).
+    avg_degree:
+        Average out-degree; ``m = round(avg_degree * n)``.
+    p_intra:
+        Probability that a link stays inside the source page's host
+        community (controls edge-cut of block partitionings and community
+        strength for Label Propagation).
+    degree_alpha:
+        Pareto tail exponent of the in/out degree weights (smaller =
+        heavier tail).
+    community_alpha:
+        Tail exponent of the community-size distribution.
+    zero_fraction:
+        Fraction of pages that receive zero link weight entirely
+        (uncrawled/unlinked pages → isolated vertices).
+    popularity_alpha:
+        Tail exponent of the per-community popularity multiplier.  Real
+        crawls have *hot contiguous id ranges* (the pages of a popular
+        site are numbered together), which is exactly what makes block
+        partitionings edge-imbalanced in the paper; lower values make the
+        hot ranges hotter.
+    seed:
+        RNG seed; fully deterministic output.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not (0.0 <= p_intra <= 1.0):
+        raise ValueError("p_intra must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    m = int(round(avg_degree * n))
+
+    sizes = _community_sizes(rng, n, mean_community_size, community_alpha)
+    n_comm = len(sizes)
+    comm_start = np.zeros(n_comm + 1, dtype=np.int64)
+    np.cumsum(sizes, out=comm_start[1:])
+    community = np.repeat(np.arange(n_comm, dtype=np.int64), sizes)
+
+    # Per-community popularity: whole hosts are hot or cold together,
+    # creating the hot contiguous id ranges of a real crawl order.
+    popularity = _pareto_weights(rng, n_comm, popularity_alpha)
+    per_vertex_pop = np.repeat(popularity, sizes)
+    w_out = _pareto_weights(rng, n, degree_alpha) * per_vertex_pop
+    w_in = _pareto_weights(rng, n, degree_alpha) * per_vertex_pop
+    if zero_fraction > 0:
+        dead = rng.random(n) < zero_fraction
+        w_out[dead] = 0.0
+        w_in[dead] = 0.0
+    if w_out.sum() == 0 or w_in.sum() == 0:
+        raise ValueError("all vertices have zero weight; lower zero_fraction")
+
+    # Source sampling proportional to out-weight.
+    cum_out = np.cumsum(w_out)
+    src = np.searchsorted(cum_out, rng.random(m) * cum_out[-1], side="right")
+    src = np.minimum(src, n - 1).astype(np.int64)
+
+    # Destination sampling: intra-community or global, both ∝ in-weight.
+    cum_in = np.cumsum(w_in)
+    total_in = cum_in[-1]
+    dst = np.empty(m, dtype=np.int64)
+    intra = rng.random(m) < p_intra
+
+    # Intra-community: draw inside [cum_in[lo-1], cum_in[hi-1]] of the
+    # source's community block (consecutive ids make this a range draw).
+    c = community[src[intra]]
+    lo = comm_start[c]
+    hi = comm_start[c + 1]
+    base = np.where(lo > 0, cum_in[np.maximum(lo - 1, 0)], 0.0)
+    base[lo == 0] = 0.0
+    width = cum_in[hi - 1] - base
+    ok = width > 0
+    target = base + rng.random(int(intra.sum())) * width
+    d_intra = np.searchsorted(cum_in, target, side="left")
+    # Communities whose whole block is zero-weight fall back to global draws.
+    g_fallback = ~ok
+    if g_fallback.any():
+        d_intra[g_fallback] = np.searchsorted(
+            cum_in, rng.random(int(g_fallback.sum())) * total_in, side="left"
+        )
+    dst[intra] = np.minimum(d_intra, n - 1)
+
+    n_glob = int((~intra).sum())
+    d_glob = np.searchsorted(cum_in, rng.random(n_glob) * total_in, side="left")
+    dst[~intra] = np.minimum(d_glob, n - 1)
+
+    edges = np.stack([src, dst], axis=1)
+    return WebCrawlSynth(edges=edges, n=n, community=community,
+                         community_sizes=sizes)
+
+
+def webcrawl_edges(n: int, avg_degree: float = 16.0, seed: int = 1,
+                   **kwargs) -> np.ndarray:
+    """Convenience wrapper returning only the edge list."""
+    return webcrawl(n, avg_degree=avg_degree, seed=seed, **kwargs).edges

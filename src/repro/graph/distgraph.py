@@ -1,0 +1,177 @@
+"""Per-rank distributed graph representation (paper §III-C, Table II).
+
+Each rank owns a subset of vertices and stores *all* incoming and outgoing
+edges of those vertices in CSR form.  Vertices are relabeled: owned
+("local") vertices take ids ``0..n_loc-1`` (ascending global order) and
+ghost vertices — off-rank vertices adjacent to a local vertex — take ids
+``n_loc..n_loc+n_gst-1``.  Adjacency arrays hold these compact local ids,
+so any per-vertex datum lives in an ``(n_loc + n_gst)``-length array.
+
+The structure stores exactly the paper's Table II fields::
+
+    n_global, m_global           global counts
+    n_loc, n_gst                 local and ghost vertex counts
+    out_edges / out_indexes      CSR of out-edges of local vertices
+    in_edges  / in_indexes       CSR of in-edges of local vertices
+    map                          global id -> local id (linear-probing hash)
+    unmap                        local id -> global id array
+    ghost_tasks                  owning rank of each ghost ("tasks")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..partition.base import Partition
+from .csr import csr_row_lengths
+from .hashmap import IntHashMap
+
+__all__ = ["DistGraph"]
+
+
+@dataclass
+class DistGraph:
+    """One rank's share of a distributed directed graph."""
+
+    rank: int
+    nparts: int
+    n_global: int
+    m_global: int
+    partition: Partition
+    out_indexes: np.ndarray  # (n_loc + 1,)
+    out_edges: np.ndarray  # (m_out,) local ids
+    in_indexes: np.ndarray  # (n_loc + 1,)
+    in_edges: np.ndarray  # (m_in,) local ids
+    unmap: np.ndarray  # (n_loc + n_gst,) global ids
+    ghost_tasks: np.ndarray  # (n_gst,) owner rank per ghost
+    map: IntHashMap = field(repr=False)
+    out_values: np.ndarray | None = None  # optional per-out-edge weights
+    in_values: np.ndarray | None = None  # optional per-in-edge weights
+
+    # ------------------------------------------------------------------
+    @property
+    def n_loc(self) -> int:
+        """Number of locally-owned vertices."""
+        return len(self.out_indexes) - 1
+
+    @property
+    def n_gst(self) -> int:
+        """Number of ghost vertices."""
+        return len(self.ghost_tasks)
+
+    @property
+    def n_total(self) -> int:
+        """Local + ghost vertex count (length of per-vertex arrays)."""
+        return self.n_loc + self.n_gst
+
+    @property
+    def m_out(self) -> int:
+        return len(self.out_edges)
+
+    @property
+    def m_in(self) -> int:
+        return len(self.in_edges)
+
+    # ------------------------------------------------------------------
+    def to_local(self, gids: np.ndarray) -> np.ndarray:
+        """Global → local ids via the hash map (−1 if unknown here)."""
+        return self.map.get(gids, default=-1)
+
+    def to_global(self, lids: np.ndarray) -> np.ndarray:
+        """Local → global ids via the unmap array."""
+        return self.unmap[lids]
+
+    def is_ghost(self, lids: np.ndarray) -> np.ndarray:
+        """Boolean: is each local id a ghost (not owned here)?"""
+        return np.asarray(lids) >= self.n_loc
+
+    def owner_of_local(self, lids: np.ndarray) -> np.ndarray:
+        """Owning rank of each local id (self for owned, tasks[] for ghosts)."""
+        lids = np.asarray(lids, dtype=np.int64)
+        out = np.full(len(lids), self.rank, dtype=np.int64)
+        ghosts = lids >= self.n_loc
+        out[ghosts] = self.ghost_tasks[lids[ghosts] - self.n_loc]
+        return out
+
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Local ids of out-neighbors of local vertex ``v``."""
+        return self.out_edges[self.out_indexes[v] : self.out_indexes[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Local ids of in-neighbors of local vertex ``v``."""
+        return self.in_edges[self.in_indexes[v] : self.in_indexes[v + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every local vertex."""
+        return csr_row_lengths(self.out_indexes)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every local vertex."""
+        return csr_row_lengths(self.in_indexes)
+
+    def total_degrees(self) -> np.ndarray:
+        """in + out degree of every local vertex."""
+        return self.out_degrees() + self.in_degrees()
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of this rank's graph structures."""
+        total = (
+            self.out_indexes.nbytes
+            + self.out_edges.nbytes
+            + self.in_indexes.nbytes
+            + self.in_edges.nbytes
+            + self.unmap.nbytes
+            + self.ghost_tasks.nbytes
+        )
+        total += self.map.capacity * 16  # key + value words
+        return total
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when per-edge values were carried through construction."""
+        return self.out_values is not None
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and after build)."""
+        n_loc, n_tot = self.n_loc, self.n_total
+        if (self.out_values is None) != (self.in_values is None):
+            raise AssertionError("edge values must exist in both directions")
+        if self.out_values is not None:
+            if len(self.out_values) != self.m_out:
+                raise AssertionError("out_values length != m_out")
+            if len(self.in_values) != self.m_in:
+                raise AssertionError("in_values length != m_in")
+        if len(self.in_indexes) != n_loc + 1:
+            raise AssertionError("in/out index length mismatch")
+        if len(self.unmap) != n_tot:
+            raise AssertionError("unmap length != n_loc + n_gst")
+        for name, adj in (("out", self.out_edges), ("in", self.in_edges)):
+            if len(adj) and (adj.min() < 0 or adj.max() >= n_tot):
+                raise AssertionError(f"{name}_edges contains invalid local ids")
+        if not np.all(np.diff(self.out_indexes) >= 0):
+            raise AssertionError("out_indexes not monotone")
+        if not np.all(np.diff(self.in_indexes) >= 0):
+            raise AssertionError("in_indexes not monotone")
+        # map and unmap must be mutually inverse.
+        back = self.map.get(self.unmap)
+        if not np.array_equal(back, np.arange(n_tot)):
+            raise AssertionError("map/unmap are not inverse")
+        # Ghost owners must be consistent with the partition, never self.
+        if self.n_gst:
+            owners = self.partition.owner_of(self.unmap[n_loc:])
+            if not np.array_equal(owners, self.ghost_tasks):
+                raise AssertionError("ghost_tasks disagree with partition")
+            if (self.ghost_tasks == self.rank).any():
+                raise AssertionError("ghost owned by self")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistGraph(rank={self.rank}/{self.nparts}, "
+            f"n_loc={self.n_loc}, n_gst={self.n_gst}, "
+            f"m_out={self.m_out}, m_in={self.m_in}, "
+            f"n_global={self.n_global}, m_global={self.m_global})"
+        )

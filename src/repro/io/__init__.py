@@ -1,0 +1,33 @@
+"""Parallel I/O: binary edge lists, striped reads, text conversion.
+
+Reproduces the paper's data-ingestion stage (§III-A): a single headerless
+binary file of ``[src, dst]`` records, read in contiguous record-aligned
+slices by each rank.
+"""
+
+from .edgelist import (
+    EDGE_DTYPES,
+    count_edges,
+    read_edge_range,
+    read_edges,
+    write_edges,
+)
+from .checkpoint import load_graph, save_graph
+from .striped import ChunkInfo, edge_share, striped_read
+from .textio import read_text_edges, text_to_binary, write_text_edges
+
+__all__ = [
+    "EDGE_DTYPES",
+    "write_edges",
+    "read_edges",
+    "count_edges",
+    "read_edge_range",
+    "ChunkInfo",
+    "edge_share",
+    "striped_read",
+    "read_text_edges",
+    "write_text_edges",
+    "text_to_binary",
+    "save_graph",
+    "load_graph",
+]

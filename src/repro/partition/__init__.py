@@ -1,0 +1,35 @@
+"""One-dimensional partitioning strategies (paper §III-B).
+
+Three simple strategies from the paper plus an explicit fallback:
+
+* :class:`VertexBlockPartition` — ``n/p`` contiguous vertices per rank
+  (natural order; best locality, worst edge balance) — "WC-np";
+* :class:`EdgeBlockPartition` — contiguous ranges balanced to ``m/p`` edges
+  — "WC-mp";
+* :class:`RandomHashPartition` — stateless uniform-random assignment —
+  "WC-rand";
+* :class:`ExplicitPartition` — arbitrary owner table (output of a real
+  partitioner or reordering).
+
+:func:`evaluate_partition` computes the balance/edge-cut metrics the paper
+uses to explain the performance differences among these strategies.
+"""
+
+from .base import Partition
+from .block import VertexBlockPartition
+from .edge_block import EdgeBlockPartition
+from .explicit import ExplicitPartition
+from .pulp import pulp_partition
+from .random import RandomHashPartition
+from .stats import PartitionStats, evaluate_partition
+
+__all__ = [
+    "Partition",
+    "VertexBlockPartition",
+    "EdgeBlockPartition",
+    "RandomHashPartition",
+    "ExplicitPartition",
+    "PartitionStats",
+    "evaluate_partition",
+    "pulp_partition",
+]

@@ -1,0 +1,82 @@
+"""Partition interface: who owns each global vertex (paper §III-B).
+
+A partition is a *pure function* from global vertex id to owning rank, plus
+the induced global↔local id conversions for owned vertices.  All methods are
+vectorized.  Partitions are cheap value objects shared by every rank (for
+block and hash partitions ownership is computable on the fly, as the paper
+notes; the explicit partition carries the owner array the paper requires for
+"more complex partitioning or reordering scenarios").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Partition"]
+
+
+class Partition(ABC):
+    """Assignment of global vertex ids ``0..n_global-1`` to ``nparts`` ranks."""
+
+    def __init__(self, n_global: int, nparts: int):
+        if n_global < 0:
+            raise ValueError("n_global must be non-negative")
+        if nparts < 1:
+            raise ValueError("nparts must be >= 1")
+        self.n_global = int(n_global)
+        self.nparts = int(nparts)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def owner_of(self, gids: np.ndarray) -> np.ndarray:
+        """Owning rank of each global id (vectorized)."""
+
+    @abstractmethod
+    def owned_gids(self, rank: int) -> np.ndarray:
+        """Sorted array of global ids owned by ``rank``."""
+
+    def n_owned(self, rank: int) -> int:
+        """Number of vertices owned by ``rank``."""
+        return len(self.owned_gids(rank))
+
+    # ------------------------------------------------------------------
+    def to_local(self, rank: int, gids: np.ndarray) -> np.ndarray:
+        """Local index (0..n_loc-1) of global ids owned by ``rank``.
+
+        Local ids follow ascending global-id order within the rank.  The
+        base implementation searches the sorted owned list; subclasses with
+        arithmetic structure override it.
+        """
+        gids = np.asarray(gids, dtype=np.int64)
+        owned = self.owned_gids(rank)
+        lids = np.searchsorted(owned, gids)
+        if len(gids):
+            bad = (lids >= len(owned)) | (owned[np.minimum(lids, len(owned) - 1)] != gids)
+            if bad.any():
+                raise ValueError(
+                    f"{int(bad.sum())} ids not owned by rank {rank} "
+                    f"(first: {int(gids[np.flatnonzero(bad)[0]])})")
+        return lids.astype(np.int64)
+
+    def to_global(self, rank: int, lids: np.ndarray) -> np.ndarray:
+        """Global id of each local index on ``rank``."""
+        lids = np.asarray(lids, dtype=np.int64)
+        owned = self.owned_gids(rank)
+        if len(lids) and (lids.min() < 0 or lids.max() >= len(owned)):
+            raise ValueError(f"local ids out of range for rank {rank}")
+        return owned[lids]
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nparts):
+            raise ValueError(f"rank {rank} out of range for {self.nparts} parts")
+
+    def owned_counts(self) -> np.ndarray:
+        """Vertex count per rank."""
+        return np.array([self.n_owned(r) for r in range(self.nparts)], dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(n_global={self.n_global}, "
+                f"nparts={self.nparts})")

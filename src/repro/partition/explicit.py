@@ -1,0 +1,62 @@
+"""Explicit (array-backed) partitioning.
+
+Covers the paper's "more complex partitioning or reordering scenarios":
+when ownership is the output of a real partitioner (METIS-like, PuLP-like)
+or a custom reordering, it cannot be computed arithmetically and every rank
+must hold the owner table.  This is the general fallback every other
+strategy can be converted to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Partition
+
+__all__ = ["ExplicitPartition"]
+
+
+class ExplicitPartition(Partition):
+    """Ownership given by an ``n_global``-length owner array.
+
+    Parameters
+    ----------
+    owners:
+        ``owners[g]`` is the rank owning global vertex ``g``.
+    nparts:
+        Number of ranks; defaults to ``owners.max() + 1``.
+    """
+
+    def __init__(self, owners: np.ndarray, nparts: int | None = None):
+        owners = np.asarray(owners, dtype=np.int64)
+        if owners.ndim != 1:
+            raise ValueError("owners must be 1-D")
+        inferred = int(owners.max()) + 1 if len(owners) else 1
+        nparts = inferred if nparts is None else int(nparts)
+        if len(owners) and (owners.min() < 0 or owners.max() >= nparts):
+            raise ValueError("owner values out of range")
+        super().__init__(len(owners), nparts)
+        self.owners = owners
+        self._owned_cache: dict[int, np.ndarray] = {}
+
+    @classmethod
+    def from_partition(cls, part: Partition) -> "ExplicitPartition":
+        """Materialize any partition into an explicit owner table."""
+        owners = part.owner_of(np.arange(part.n_global, dtype=np.int64))
+        return cls(owners, part.nparts)
+
+    def owner_of(self, gids: np.ndarray) -> np.ndarray:
+        gids = np.asarray(gids, dtype=np.int64)
+        if len(np.atleast_1d(gids)) and (
+            np.min(gids) < 0 or np.max(gids) >= self.n_global
+        ):
+            raise ValueError("global ids out of range")
+        return self.owners[gids]
+
+    def owned_gids(self, rank: int) -> np.ndarray:
+        self._check_rank(rank)
+        cached = self._owned_cache.get(rank)
+        if cached is None:
+            cached = np.flatnonzero(self.owners == rank).astype(np.int64)
+            self._owned_cache[rank] = cached
+        return cached

@@ -1,0 +1,97 @@
+"""Partition quality metrics (paper §III-B).
+
+The paper evaluates partitionings by vertex/edge balance and by the ratio of
+internal to external edges (the aggregate external-edge count being the
+*edge cut*).  These metrics predict the idle and communication components of
+Fig. 3, so the stats module is also what the performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import sorted_unique
+from .base import Partition
+
+__all__ = ["PartitionStats", "evaluate_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Quality summary of a partition against a concrete edge list."""
+
+    nparts: int
+    vertex_counts: np.ndarray  # owned vertices per rank
+    edge_counts: np.ndarray  # out-edges whose source the rank owns
+    cut_edges: int  # edges whose endpoints live on different ranks
+    m_total: int
+    ghost_counts: np.ndarray  # distinct external neighbor vertices per rank
+
+    @property
+    def vertex_imbalance(self) -> float:
+        """max/mean owned-vertex ratio (1.0 = perfectly balanced)."""
+        mean = self.vertex_counts.mean()
+        return float(self.vertex_counts.max() / mean) if mean else 1.0
+
+    @property
+    def edge_imbalance(self) -> float:
+        """max/mean owned-edge ratio (1.0 = perfectly balanced)."""
+        mean = self.edge_counts.mean()
+        return float(self.edge_counts.max() / mean) if mean else 1.0
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of edges crossing rank boundaries (the edge cut)."""
+        return self.cut_edges / self.m_total if self.m_total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "nparts": self.nparts,
+            "vertex_imbalance": self.vertex_imbalance,
+            "edge_imbalance": self.edge_imbalance,
+            "cut_fraction": self.cut_fraction,
+            "max_ghosts": int(self.ghost_counts.max()) if len(self.ghost_counts) else 0,
+        }
+
+
+def evaluate_partition(part: Partition, edges: np.ndarray) -> PartitionStats:
+    """Score ``part`` against a global edge list of shape ``(m, 2)``.
+
+    Ghost counts are the number of *distinct* off-rank neighbor vertices per
+    rank, counting both edge directions (a ghost is adjacent via in- or
+    out-edges, per the paper's Table II).
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must have shape (m, 2)")
+    src_own = part.owner_of(edges[:, 0])
+    dst_own = part.owner_of(edges[:, 1])
+    cut = int(np.count_nonzero(src_own != dst_own))
+    vertex_counts = part.owned_counts()
+    edge_counts = np.bincount(src_own, minlength=part.nparts).astype(np.int64)
+
+    ghost_counts = np.zeros(part.nparts, dtype=np.int64)
+    crossing = src_own != dst_own
+    if crossing.any():
+        # From the source-owner side, dst is a ghost; from the dst-owner
+        # side, src is a ghost.  Count distinct (rank, ghost gid) pairs.
+        n = part.n_global
+        keys = np.concatenate(
+            [
+                src_own[crossing] * np.int64(n) + edges[crossing, 1],
+                dst_own[crossing] * np.int64(n) + edges[crossing, 0],
+            ]
+        )
+        uniq = sorted_unique(keys)
+        ghost_counts = np.bincount(uniq // n, minlength=part.nparts).astype(np.int64)
+
+    return PartitionStats(
+        nparts=part.nparts,
+        vertex_counts=vertex_counts,
+        edge_counts=edge_counts,
+        cut_edges=cut,
+        m_total=len(edges),
+        ghost_counts=ghost_counts,
+    )

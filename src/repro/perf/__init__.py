@@ -1,0 +1,50 @@
+"""Performance modeling: machine presets, cost extraction, scaling sweeps.
+
+Pairs the runtime's measured traces with an alpha-beta machine model so the
+paper's cluster-scale experiments (Tables III–IV, Figs 1–3) can be
+regenerated at any node count from exact per-rank volumes.
+"""
+
+from .breakdown import Breakdown, measured_breakdown
+from .calibrate import calibrate_local, fit_alpha_beta
+from .costmodel import (
+    PerRankCosts,
+    PhasePrediction,
+    bfs_like_costs,
+    pagerank_like_costs,
+    predict_iteration,
+)
+from .model import BLUE_WATERS, COMPTON, LOCAL, MachineModel
+from .twod import grid_shape, pagerank_like_costs_2d
+from .scaling import (
+    ConstructionModel,
+    ScalingPoint,
+    model_analytic_time,
+    model_construction,
+    strong_scaling_model,
+    weak_scaling_model,
+)
+
+__all__ = [
+    "MachineModel",
+    "BLUE_WATERS",
+    "COMPTON",
+    "LOCAL",
+    "PerRankCosts",
+    "PhasePrediction",
+    "pagerank_like_costs",
+    "bfs_like_costs",
+    "predict_iteration",
+    "Breakdown",
+    "measured_breakdown",
+    "ScalingPoint",
+    "ConstructionModel",
+    "model_analytic_time",
+    "model_construction",
+    "strong_scaling_model",
+    "weak_scaling_model",
+    "calibrate_local",
+    "fit_alpha_beta",
+    "pagerank_like_costs_2d",
+    "grid_shape",
+]

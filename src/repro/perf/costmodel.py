@@ -1,0 +1,174 @@
+"""Per-rank cost extraction from a partitioned edge list.
+
+For scaling studies beyond the host's feasible thread count (the paper runs
+up to 1024 nodes), we compute each rank's *exact* work and communication
+volumes analytically from the edge list and partition — no threads needed —
+and feed them to a :class:`~repro.perf.model.MachineModel`.  The volumes
+are the same quantities the live runtime measures via its trace, which is
+how the model is validated (see ``tests/test_perf``).
+
+Two analytic classes are modeled, mirroring §III-D:
+
+* **PageRank-like** (:func:`pagerank_like_costs`): every iteration touches
+  all local edges and refreshes every ghost once.
+* **BFS-like** (:func:`bfs_like_costs`): the whole traversal touches each
+  edge at most once, each ghost discovery is shipped once, and every level
+  costs a latency-bound synchronization round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import sorted_unique
+from ..partition.base import Partition
+from .model import MachineModel
+
+__all__ = [
+    "PerRankCosts",
+    "PhasePrediction",
+    "pagerank_like_costs",
+    "bfs_like_costs",
+    "predict_iteration",
+]
+
+
+@dataclass(frozen=True)
+class PerRankCosts:
+    """Exact per-rank volumes of one analytic iteration (or traversal)."""
+
+    nparts: int
+    work_edges: np.ndarray  # edges each rank processes
+    ghost_recv: np.ndarray  # ghost values each rank receives
+    ghost_send: np.ndarray  # values each rank ships to peers
+    peer_count: np.ndarray  # distinct communication partners
+    rounds: int  # latency-bound synchronization rounds
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    """Modeled per-rank time components of one bulk-synchronous phase."""
+
+    comp: np.ndarray  # per-rank compute seconds
+    comm: np.ndarray  # per-rank communication seconds
+    idle: np.ndarray  # per-rank wait-for-straggler seconds
+
+    @property
+    def total(self) -> float:
+        """Phase wall-clock time (max compute + max comm)."""
+        return float(self.comp.max() + self.comm.max()) if len(self.comp) else 0.0
+
+    def ratios(self) -> dict[str, dict[str, float]]:
+        """Fig. 3-style min/avg/max ratios of each component."""
+        total = self.total or 1.0
+        out: dict[str, dict[str, float]] = {}
+        for name, arr in (("comp", self.comp), ("comm", self.comm),
+                          ("idle", self.idle)):
+            frac = arr / total
+            out[name] = {
+                "min": float(frac.min()),
+                "avg": float(frac.mean()),
+                "max": float(frac.max()),
+            }
+        return out
+
+
+def _ghost_pairs(edges: np.ndarray, src_own: np.ndarray,
+                 dst_own: np.ndarray) -> np.ndarray:
+    """Distinct (rank, ghost gid) pairs over both edge directions.
+
+    Pairs are deduplicated through a packed 1-D key (rank * n + gid); a
+    2-D ``np.unique(axis=0)`` would sort void views and is an order of
+    magnitude slower on the tens of millions of pairs the scaling sweeps
+    produce.
+    """
+    crossing = src_own != dst_own
+    if not crossing.any():
+        return np.empty((0, 2), dtype=np.int64)
+    n = int(edges.max()) + 1 if len(edges) else 1
+    keys = np.concatenate(
+        [
+            src_own[crossing] * n + edges[crossing, 1],
+            dst_own[crossing] * n + edges[crossing, 0],
+        ]
+    )
+    uniq = sorted_unique(keys)
+    return np.stack([uniq // n, uniq % n], axis=1)
+
+
+def pagerank_like_costs(edges: np.ndarray, part: Partition) -> PerRankCosts:
+    """Volumes of one PageRank/LabelProp iteration under ``part``.
+
+    Work: each rank processes its owned in- and out-edges once.
+    Communication: each (rank, ghost) pair moves one value; the owner sends
+    it, the rank holding the ghost receives it.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    p = part.nparts
+    src_own = part.owner_of(edges[:, 0])
+    dst_own = part.owner_of(edges[:, 1])
+    work = (np.bincount(src_own, minlength=p)
+            + np.bincount(dst_own, minlength=p)).astype(np.int64)
+
+    pairs = _ghost_pairs(edges, src_own, dst_own)
+    if len(pairs):
+        ghost_recv = np.bincount(pairs[:, 0], minlength=p).astype(np.int64)
+        owners = part.owner_of(pairs[:, 1])
+        ghost_send = np.bincount(owners, minlength=p).astype(np.int64)
+        peer_keys = sorted_unique(pairs[:, 0] * np.int64(p) + owners)
+        peer_count = np.bincount(peer_keys // p, minlength=p).astype(np.int64)
+    else:
+        ghost_recv = np.zeros(p, dtype=np.int64)
+        ghost_send = np.zeros(p, dtype=np.int64)
+        peer_count = np.zeros(p, dtype=np.int64)
+    return PerRankCosts(nparts=p, work_edges=work, ghost_recv=ghost_recv,
+                        ghost_send=ghost_send, peer_count=peer_count, rounds=1)
+
+
+def bfs_like_costs(edges: np.ndarray, part: Partition,
+                   n_levels: int) -> PerRankCosts:
+    """Volumes of one full BFS-like traversal under ``part``.
+
+    Work and traffic match :func:`pagerank_like_costs` (each edge relaxed
+    once, each ghost discovered once) but the traversal pays ``n_levels``
+    synchronization rounds, which is what limits BFS-like strong scaling in
+    the paper ("a greater number of global synchronizations and a lower
+    computation to communication ratio").
+    """
+    if n_levels < 1:
+        raise ValueError("n_levels must be >= 1")
+    base = pagerank_like_costs(edges, part)
+    return PerRankCosts(
+        nparts=base.nparts,
+        work_edges=base.work_edges,
+        ghost_recv=base.ghost_recv,
+        ghost_send=base.ghost_send,
+        peer_count=base.peer_count,
+        rounds=n_levels,
+    )
+
+
+def predict_iteration(
+    costs: PerRankCosts,
+    machine: MachineModel,
+    bytes_per_value: int = 8,
+) -> PhasePrediction:
+    """Turn per-rank volumes into modeled comp/comm/idle components."""
+    comp = np.array(
+        [
+            machine.compute_time(float(w), float(gr))
+            for w, gr in zip(costs.work_edges, costs.ghost_recv)
+        ]
+    )
+    comm = np.array(
+        [
+            machine.comm_time(float(pc * costs.rounds),
+                              float((gs + gr) * bytes_per_value))
+            for pc, gs, gr in zip(costs.peer_count, costs.ghost_send,
+                                  costs.ghost_recv)
+        ]
+    )
+    idle = comp.max() - comp if len(comp) else comp
+    return PhasePrediction(comp=comp, comm=comm, idle=idle)

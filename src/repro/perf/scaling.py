@@ -1,0 +1,167 @@
+"""Scaling-study harness: measured small-scale runs + modeled paper scale.
+
+The paper's scaling experiments (Figs 1–3, Tables III–IV) run on 8–1024
+Blue Waters nodes.  In-process thread ranks top out far below that, so each
+bench pairs two views:
+
+* **measured** — real `run_spmd` executions at small rank counts, timing
+  the actual analytics;
+* **modeled** — exact per-rank work/traffic volumes extracted from the
+  partitioned edge list (:mod:`repro.perf.costmodel`) fed through a
+  :class:`~repro.perf.model.MachineModel`, evaluated at any node count.
+
+Who wins, by what factor, and where curves flatten is decided by the
+volumes, which are exact; the machine model only supplies constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..partition.base import Partition
+from .costmodel import (
+    PhasePrediction,
+    bfs_like_costs,
+    pagerank_like_costs,
+    predict_iteration,
+)
+from .model import MachineModel
+
+__all__ = [
+    "ScalingPoint",
+    "ConstructionModel",
+    "model_analytic_time",
+    "strong_scaling_model",
+    "weak_scaling_model",
+    "model_construction",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (node count, predicted time) sample of a scaling curve."""
+
+    nodes: int
+    time_s: float
+    prediction: PhasePrediction
+
+    def speedup_over(self, base: "ScalingPoint") -> float:
+        """Speedup relative to a baseline point (paper Fig. 2 style)."""
+        return base.time_s / self.time_s if self.time_s > 0 else float("inf")
+
+
+def model_analytic_time(
+    edges: np.ndarray,
+    part: Partition,
+    machine: MachineModel,
+    analytic: str = "pagerank",
+    n_iters: int = 1,
+    n_levels: int = 16,
+    bytes_per_value: int = 8,
+) -> ScalingPoint:
+    """Modeled execution time of one analytic on one partitioned graph.
+
+    ``analytic`` selects the cost class: ``"pagerank"``/``"labelprop"``
+    (per-iteration volumes × ``n_iters``) or ``"bfs"``/``"harmonic"``
+    (one traversal with ``n_levels`` synchronization rounds).
+    """
+    if analytic in ("pagerank", "labelprop", "wcc-color"):
+        costs = pagerank_like_costs(edges, part)
+        pred = predict_iteration(costs, machine, bytes_per_value)
+        scale = n_iters
+    elif analytic in ("bfs", "harmonic", "scc", "kcore"):
+        costs = bfs_like_costs(edges, part, n_levels)
+        pred = predict_iteration(costs, machine, bytes_per_value)
+        scale = 1
+    else:
+        raise ValueError(f"unknown analytic class {analytic!r}")
+    scaled = PhasePrediction(comp=pred.comp * scale, comm=pred.comm * scale,
+                             idle=pred.idle * scale)
+    return ScalingPoint(nodes=part.nparts, time_s=scaled.total,
+                        prediction=scaled)
+
+
+def strong_scaling_model(
+    edges: np.ndarray,
+    partition_factory: Callable[[int], Partition],
+    node_counts: Sequence[int],
+    machine: MachineModel,
+    analytic: str = "labelprop",
+    n_iters: int = 1,
+    n_levels: int = 16,
+) -> list[ScalingPoint]:
+    """Fixed graph, growing node counts (paper Fig. 2)."""
+    return [
+        model_analytic_time(edges, partition_factory(p), machine,
+                            analytic=analytic, n_iters=n_iters,
+                            n_levels=n_levels)
+        for p in node_counts
+    ]
+
+
+def weak_scaling_model(
+    edges_for_nodes: Callable[[int], np.ndarray],
+    partition_factory: Callable[[int, int], Partition],
+    node_counts: Sequence[int],
+    machine: MachineModel,
+    analytic: str = "pagerank",
+    n_iters: int = 1,
+    n_levels: int = 16,
+) -> list[ScalingPoint]:
+    """Per-node problem size held constant (paper Fig. 1).
+
+    ``edges_for_nodes(p)`` generates the graph for ``p`` nodes;
+    ``partition_factory(n, p)`` partitions its vertex set.
+    """
+    points = []
+    for p in node_counts:
+        edges = edges_for_nodes(p)
+        n = int(edges.max()) + 1 if len(edges) else 1
+        part = partition_factory(n, p)
+        points.append(
+            model_analytic_time(edges, part, machine, analytic=analytic,
+                                n_iters=n_iters, n_levels=n_levels))
+    return points
+
+
+@dataclass(frozen=True)
+class ConstructionModel:
+    """Modeled Table III row: construction-stage times at paper scale."""
+
+    nodes: int
+    read_s: float
+    exchange_s: float
+    convert_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.read_s + self.exchange_s + self.convert_s
+
+    def rate_ge_s(self, m_edges: float) -> float:
+        """Processing rate in billions of edges per second (in+out)."""
+        return (2.0 * m_edges / self.total_s) / 1e9 if self.total_s else 0.0
+
+
+def model_construction(
+    m_edges: float, nodes: int, machine: MachineModel, width: int = 32
+) -> ConstructionModel:
+    """Model the ingestion pipeline of §III-A at any scale.
+
+    Read: striped parallel read of ``8m`` bytes (two ids per edge).
+    Exchange: both edge directions traverse the network once —
+    ``2 × 2 × idsize × m / p`` bytes per task in an all-to-all.
+    Convert: counting sort + relabel touches each of the ``2m`` local edge
+    slots a small constant number of times.
+    """
+    id_bytes = width // 8
+    file_bytes = 2.0 * id_bytes * m_edges
+    read_s = machine.read_time(file_bytes, nodes)
+    per_task_bytes = 2.0 * file_bytes / nodes
+    exchange_s = machine.comm_time(messages=2.0 * nodes, nbytes=per_task_bytes)
+    convert_edges = 3.0 * 2.0 * m_edges / nodes  # sort+scatter+relabel passes
+    convert_s = machine.compute_time(convert_edges)
+    return ConstructionModel(nodes=nodes, read_s=read_s,
+                             exchange_s=exchange_s, convert_s=convert_s)

@@ -1,0 +1,77 @@
+"""2-D (checkerboard) partitioning cost model — the road not taken.
+
+The paper *chooses* "a memory-efficient one-dimensional graph
+representation" (§III-A); the classic alternative distributes the adjacency
+matrix over a √p × √p process grid, turning the PageRank-like exchange into
+row/column segment collectives whose volume scales as O(n/√p) per rank
+instead of O(ghosts).  This module models that alternative exactly (per-rank
+edge counts and row/column traffic computed from the real edge list), so
+the 1-D/2-D trade-off the paper implicitly made can be quantified —
+see ``bench_extensions.py``.
+
+Model (standard 2-D SpMV schedule, e.g. Yoo et al.):
+
+* edge (u, v) lives on grid block ``(row_of(u), col_of(v))``;
+* each iteration, block (i, j) receives the x-entries of its column slice
+  (broadcast down the column: one message, ``n_j`` values) and reduces
+  partial sums along its row (one message, ``n_i`` values);
+* per-rank work is its block's edge count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..partition.block import VertexBlockPartition
+from .costmodel import PerRankCosts
+
+__all__ = ["pagerank_like_costs_2d", "grid_shape"]
+
+
+def grid_shape(p: int) -> tuple[int, int]:
+    """Most-square factorization ``rows x cols = p``."""
+    r = int(np.sqrt(p))
+    while p % r:
+        r -= 1
+    return r, p // r
+
+
+def pagerank_like_costs_2d(
+    edges: np.ndarray, n: int, p: int
+) -> PerRankCosts:
+    """Per-rank volumes of one PageRank-like iteration on a 2-D grid.
+
+    Vertices are block-distributed along both grid dimensions; rank
+    ``(i, j)`` (flattened row-major) owns the edges whose source falls in
+    row-slice ``i`` and destination in column-slice ``j``.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    rows, cols = grid_shape(p)
+    row_part = VertexBlockPartition(n, rows)
+    col_part = VertexBlockPartition(n, cols)
+
+    ri = row_part.owner_of(edges[:, 0]) if len(edges) else edges[:, 0]
+    cj = col_part.owner_of(edges[:, 1]) if len(edges) else edges[:, 1]
+    block = ri * cols + cj
+    work = np.bincount(block, minlength=p).astype(np.int64)
+
+    # Traffic per rank: receive the column slice's x values (gather along
+    # the column, n/cols values from each of rows-1 peers is the classic
+    # allgather; modeled as the slice size) + send row partials (n/rows).
+    ghost_recv = np.empty(p, dtype=np.int64)
+    ghost_send = np.empty(p, dtype=np.int64)
+    peer_count = np.empty(p, dtype=np.int64)
+    for i in range(rows):
+        for j in range(cols):
+            r = i * cols + j
+            ghost_recv[r] = col_part.n_owned(j)  # x slice broadcast
+            ghost_send[r] = row_part.n_owned(i)  # partial-sum reduction
+            peer_count[r] = (rows - 1) + (cols - 1)
+    return PerRankCosts(
+        nparts=p,
+        work_edges=2 * work,  # both directions, to match the 1-D model
+        ghost_recv=ghost_recv,
+        ghost_send=ghost_send,
+        peer_count=peer_count,
+        rounds=2,  # column phase + row phase
+    )

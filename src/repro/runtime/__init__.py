@@ -1,0 +1,67 @@
+"""SPMD runtime: the distributed-memory substrate of the reproduction.
+
+The paper's codes run one MPI task per compute node and communicate via
+collectives.  This package provides the same programming model in-process:
+
+* :func:`run_spmd` — launch an SPMD function on ``p`` thread-ranks
+  (the ``mpiexec -n p`` analogue);
+* :class:`Communicator` — per-rank handle with MPI-style collectives
+  (``alltoallv``, ``allreduce``, ``allgatherv``, ``bcast``, …), fully traced;
+* :mod:`~repro.runtime.reduceops` — predefined reduction operators;
+* :class:`~repro.runtime.threadqueue.SharedSendQueues` — the paper's
+  OpenMP thread-local queue scheme (Algorithm 3), for ablation studies.
+
+Example
+-------
+>>> from repro.runtime import run_spmd, SUM
+>>> def hello(comm):
+...     return comm.allreduce(comm.rank, SUM)
+>>> run_spmd(4, hello)
+[6, 6, 6, 6]
+"""
+
+from .comm import Communicator, World
+from .errors import CommUsageError, RankAborted, SpmdError
+from .launcher import run_spmd, spmd_traces
+from .reduceops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    ReduceOp,
+)
+from .threadqueue import SharedSendQueues, ThreadLocalQueue
+from .trace import CommEvent, CommTrace
+
+__all__ = [
+    "Communicator",
+    "World",
+    "run_spmd",
+    "spmd_traces",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+    "SpmdError",
+    "RankAborted",
+    "CommUsageError",
+    "CommEvent",
+    "CommTrace",
+    "SharedSendQueues",
+    "ThreadLocalQueue",
+]

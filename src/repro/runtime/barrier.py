@@ -1,0 +1,76 @@
+"""Abortable synchronization barrier for the SPMD runtime.
+
+``threading.Barrier`` already supports abort semantics; this module wraps it
+so that (a) an aborted wait surfaces as :class:`~repro.runtime.errors.RankAborted`
+instead of ``BrokenBarrierError``, (b) waits can carry an optional timeout to
+convert accidental deadlocks (a rank skipping a collective) into hard errors,
+and (c) the time spent waiting is returned so the tracer can attribute it to
+*idle* time (waiting on stragglers) rather than communication.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import RankAborted
+
+__all__ = ["AbortableBarrier"]
+
+
+class AbortableBarrier:
+    """A reusable barrier that raises :class:`RankAborted` once aborted.
+
+    Parameters
+    ----------
+    parties:
+        Number of ranks participating.
+    timeout:
+        Optional per-wait timeout in seconds.  ``None`` waits forever.  A
+        timed-out wait aborts the barrier for everyone (BSP discipline means
+        a timeout is always a bug, never a recoverable condition).
+    """
+
+    def __init__(self, parties: int, timeout: float | None = None):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self._barrier = threading.Barrier(parties)
+        self._timeout = timeout
+        self._abort_reason: str | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def parties(self) -> int:
+        return self._barrier.parties
+
+    @property
+    def aborted(self) -> bool:
+        return self._barrier.broken
+
+    def abort(self, reason: str = "aborted by peer rank") -> None:
+        """Break the barrier; all current and future waiters raise."""
+        with self._lock:
+            if self._abort_reason is None:
+                self._abort_reason = reason
+        self._barrier.abort()
+
+    def wait(self) -> float:
+        """Block until all parties arrive.
+
+        Returns
+        -------
+        float
+            Seconds this caller spent waiting (idle time).
+
+        Raises
+        ------
+        RankAborted
+            If the barrier was aborted (by a failure elsewhere or a timeout).
+        """
+        t0 = time.perf_counter()
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError:
+            reason = self._abort_reason or "barrier wait timed out or was aborted"
+            raise RankAborted(reason) from None
+        return time.perf_counter() - t0

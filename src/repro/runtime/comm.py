@@ -1,0 +1,422 @@
+"""In-process SPMD communicator with MPI-style collectives.
+
+This is the distributed-memory *substrate* of the reproduction.  The paper's
+implementations use MPI (``MPI_Alltoallv``, ``MPI_Allreduce``) with one task
+per node; here each rank is an OS thread inside one process and collectives
+move NumPy buffers through shared slots guarded by an abortable barrier.
+
+Semantics follow MPI closely:
+
+* collectives are *bulk synchronous*: every rank of the world must call the
+  same sequence of collectives with compatible arguments;
+* buffer collectives (``alltoallv``, ``allgatherv``) operate on NumPy arrays
+  and never pickle;
+* object collectives (``bcast``, ``gather``, ``scatter``, ``alltoall``)
+  accept arbitrary Python objects, mirroring mpi4py's lowercase API.
+
+Every operation is traced (bytes, message counts, wait/transfer durations)
+into :class:`~repro.runtime.trace.CommTrace`, which feeds the performance
+model used to regenerate the paper's scaling figures.
+
+The design deliberately exposes the same cost structure as real MPI: an
+``alltoallv`` really does materialize per-destination buffers and a
+concatenated receive buffer, so communication volume measurements are exact.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from .barrier import AbortableBarrier
+from .errors import CommUsageError
+from .reduceops import ReduceOp, SUM
+from .trace import CommTrace
+
+__all__ = ["Communicator", "World"]
+
+
+def _nbytes(obj: Any) -> int:
+    """Best-effort payload size of an object for trace accounting."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, bool, np.integer, np.floating)):
+        return 8
+    return 0
+
+
+class World:
+    """Shared state for one SPMD execution (all ranks of a world).
+
+    Not constructed directly by user code; :func:`repro.runtime.run_spmd`
+    builds one per launch.
+    """
+
+    def __init__(self, size: int, timeout: float | None = None):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.barrier = AbortableBarrier(size, timeout=timeout)
+        self.slots: list[Any] = [None] * size
+        self._p2p_lock = threading.Lock()
+        self._p2p: dict[tuple[int, int, int], queue.Queue] = {}
+
+    def p2p_queue(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._p2p_lock:
+            q = self._p2p.get(key)
+            if q is None:
+                q = self._p2p[key] = queue.Queue()
+            return q
+
+    def abort(self, reason: str) -> None:
+        self.barrier.abort(reason)
+
+
+class Communicator:
+    """Per-rank handle to a :class:`World`.
+
+    Mirrors the subset of MPI used by the paper's codes, plus tracing.
+    """
+
+    def __init__(self, world: World, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.trace = CommTrace(rank)
+        # Approximate hop count of a binomial-tree collective, for the
+        # alpha (latency) term of the performance model.
+        self._tree_msgs = max(1, math.ceil(math.log2(max(2, self.size))))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run(self, op: str, contribution: Any, combine, bytes_sent: int, msg_count: int):
+        """Execute one collective: publish, sync, combine, sync.
+
+        ``combine(slots)`` is evaluated by *every* rank on the shared slot
+        list after the entry barrier; a second barrier protects slot reuse.
+        """
+        trace = self.trace
+        t_enter = trace.mark_enter()
+        world = self._world
+        world.slots[self.rank] = contribution
+        wait_s = world.barrier.wait()
+        t0 = time.perf_counter()
+        result, bytes_recv = combine(world.slots)
+        xfer_s = time.perf_counter() - t0
+        xfer_s += world.barrier.wait()
+        trace.record(op, bytes_sent, bytes_recv, msg_count, wait_s, xfer_s, t_enter)
+        trace.mark_leave()
+        return result
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Tag all trace events inside the block with ``name``."""
+        prev = self.trace._region
+        self.trace.set_region(name)
+        try:
+            yield
+        finally:
+            self.trace.set_region(prev)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self._run("barrier", None, lambda slots: (None, 0), 0, self._tree_msgs)
+
+    def abort(self, reason: str = "user abort") -> None:
+        """Abort the whole world; peers raise ``RankAborted``."""
+        self._world.abort(reason)
+
+    # ------------------------------------------------------------------
+    # object collectives (mpi4py lowercase style)
+    # ------------------------------------------------------------------
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.size):
+            raise CommUsageError(f"root {root} out of range for size {self.size}")
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks; returns it everywhere."""
+        self._check_root(root)
+        nb = _nbytes(obj) if self.rank == root else 0
+
+        def combine(slots):
+            val = slots[root]
+            return val, (0 if self.rank == root else _nbytes(val))
+
+        return self._run("bcast", obj if self.rank == root else None, combine,
+                         nb * (self.size - 1) if self.rank == root else 0,
+                         self._tree_msgs)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank into a list at ``root`` (None elsewhere)."""
+        self._check_root(root)
+
+        def combine(slots):
+            if self.rank == root:
+                vals = list(slots)
+                return vals, sum(_nbytes(v) for v in vals)
+            return None, 0
+
+        return self._run("gather", obj, combine, _nbytes(obj), 1)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank into a list on every rank."""
+
+        def combine(slots):
+            vals = list(slots)
+            return vals, sum(_nbytes(v) for v in vals)
+
+        return self._run("allgather", obj, combine,
+                         _nbytes(obj) * (self.size - 1), self._tree_msgs)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``; returns own element."""
+        self._check_root(root)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommUsageError("scatter requires a length-size sequence at root")
+
+        def combine(slots):
+            val = slots[root][self.rank]
+            return val, (0 if self.rank == root else _nbytes(val))
+
+        sent = sum(_nbytes(o) for o in objs) if self.rank == root else 0
+        return self._run("scatter", objs if self.rank == root else None,
+                         combine, sent, 1 if self.rank == root else 0)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all of Python objects (``objs[d]`` goes to rank d)."""
+        if len(objs) != self.size:
+            raise CommUsageError(
+                f"alltoall needs exactly {self.size} items, got {len(objs)}")
+
+        def combine(slots):
+            vals = [slots[src][self.rank] for src in range(self.size)]
+            return vals, sum(_nbytes(v) for v in vals)
+
+        sent = sum(_nbytes(o) for i, o in enumerate(objs) if i != self.rank)
+        return self._run("alltoall", list(objs), combine, sent, self.size - 1)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce ``value`` across ranks with ``op``; result on every rank."""
+
+        def combine(slots):
+            out = op.reduce_all(list(slots))
+            if isinstance(out, np.ndarray):
+                out = out.copy()
+            return out, _nbytes(value) * self._tree_msgs
+
+        return self._run(f"allreduce[{op.name}]", value, combine,
+                         _nbytes(value) * self._tree_msgs, 2 * self._tree_msgs)
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (None elsewhere)."""
+        self._check_root(root)
+
+        def combine(slots):
+            if self.rank != root:
+                return None, 0
+            out = op.reduce_all(list(slots))
+            if isinstance(out, np.ndarray):
+                out = out.copy()
+            return out, _nbytes(value) * (self.size - 1)
+
+        return self._run(f"reduce[{op.name}]", value, combine, _nbytes(value), 1)
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction over ranks 0..rank."""
+
+        def combine(slots):
+            out = op.reduce_all(list(slots[: self.rank + 1]))
+            if isinstance(out, np.ndarray):
+                out = out.copy()
+            return out, _nbytes(value)
+
+        return self._run(f"scan[{op.name}]", value, combine,
+                         _nbytes(value), self._tree_msgs)
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction; ``op.identity`` on rank 0."""
+
+        def combine(slots):
+            if self.rank == 0:
+                return op.identity, 0
+            out = op.reduce_all(list(slots[: self.rank]))
+            if isinstance(out, np.ndarray):
+                out = out.copy()
+            return out, _nbytes(value)
+
+        return self._run(f"exscan[{op.name}]", value, combine,
+                         _nbytes(value), self._tree_msgs)
+
+    # ------------------------------------------------------------------
+    # buffer collectives
+    # ------------------------------------------------------------------
+    def allgatherv(self, array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate a per-rank array on every rank.
+
+        Returns
+        -------
+        (data, counts):
+            ``data`` is the concatenation over ranks in rank order and
+            ``counts[r]`` is the number of elements contributed by rank r.
+        """
+        array = np.ascontiguousarray(array)
+
+        def combine(slots):
+            counts = np.array([len(s) for s in slots], dtype=np.int64)
+            data = np.concatenate(slots) if counts.sum() else array[:0].copy()
+            return (data, counts), int(data.nbytes)
+
+        return self._run("allgatherv", array, combine,
+                         array.nbytes * (self.size - 1), self._tree_msgs)
+
+    def gatherv(self, array: np.ndarray, root: int = 0
+                ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Concatenate per-rank arrays at ``root`` (None elsewhere).
+
+        Returns ``(data, counts)`` at the root, in rank order.
+        """
+        self._check_root(root)
+        array = np.ascontiguousarray(array)
+
+        def combine(slots):
+            if self.rank != root:
+                return None, 0
+            counts = np.array([len(s) for s in slots], dtype=np.int64)
+            data = np.concatenate(slots) if counts.sum() else array[:0].copy()
+            return (data, counts), int(data.nbytes)
+
+        return self._run("gatherv", array, combine, array.nbytes, 1)
+
+    def reduce_scatter(self, array: np.ndarray, op: ReduceOp = SUM
+                       ) -> np.ndarray:
+        """Element-wise reduce ``size`` equal blocks, scatter one per rank.
+
+        Every rank contributes an array whose length is a multiple of
+        ``size``; block ``r`` of the element-wise reduction lands on rank
+        ``r``.  (MPI_Reduce_scatter_block semantics.)
+        """
+        array = np.ascontiguousarray(array)
+        if len(array) % self.size:
+            raise CommUsageError(
+                f"reduce_scatter needs length divisible by {self.size}")
+        block = len(array) // self.size
+
+        def combine(slots):
+            lo, hi = self.rank * block, (self.rank + 1) * block
+            acc = op.reduce_all([s[lo:hi] for s in slots])
+            if isinstance(acc, np.ndarray):
+                acc = acc.copy()
+            return acc, block * array.itemsize
+
+        return self._run(f"reduce_scatter[{op.name}]", array, combine,
+                         array.nbytes, self._tree_msgs)
+
+    def alltoallv(self, send: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Personalized all-to-all of NumPy buffers.
+
+        ``send[d]`` is the buffer destined for rank ``d`` (may be empty, and
+        ``send[rank]`` is delivered to self).  All buffers must share a dtype.
+
+        Returns
+        -------
+        (data, counts):
+            ``data`` concatenates the buffers received from ranks
+            ``0..size-1`` in source-rank order; ``counts[s]`` is the element
+            count received from rank ``s``.
+        """
+        if len(send) != self.size:
+            raise CommUsageError(
+                f"alltoallv needs exactly {self.size} buffers, got {len(send)}")
+        send = [np.ascontiguousarray(b) for b in send]
+        dt = send[0].dtype
+        for b in send[1:]:
+            if b.dtype != dt:
+                raise CommUsageError(
+                    f"alltoallv buffers must share a dtype ({b.dtype} != {dt})")
+        bytes_sent = sum(b.nbytes for i, b in enumerate(send) if i != self.rank)
+        nmsg = sum(1 for i, b in enumerate(send) if i != self.rank and len(b))
+
+        def combine(slots):
+            mine = [slots[src][self.rank] for src in range(self.size)]
+            counts = np.array([len(b) for b in mine], dtype=np.int64)
+            if counts.sum():
+                data = np.concatenate(mine)
+            else:
+                data = np.empty(0, dtype=dt)
+            recv = sum(b.nbytes for s, b in enumerate(mine) if s != self.rank)
+            return (data, counts), recv
+
+        return self._run("alltoallv", send, combine, bytes_sent, nmsg)
+
+    # ------------------------------------------------------------------
+    # sub-communicators
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int | None = None
+              ) -> "Communicator | None":
+        """Partition the world into sub-communicators (MPI_Comm_split).
+
+        Ranks passing the same ``color`` form a new world; within it they
+        are ordered by ``(key, old rank)`` (``key`` defaults to the old
+        rank, preserving order).  Passing ``color=None`` opts out and
+        returns ``None`` (the MPI ``MPI_UNDEFINED`` convention) — the rank
+        still participates in the split collectives.
+
+        The returned communicator carries its own fresh trace.
+        """
+        key = self.rank if key is None else int(key)
+        triples = self.allgather(
+            (None if color is None else int(color), key, self.rank))
+        if color is None:
+            self.alltoall([None] * self.size)  # stay collective-aligned
+            return None
+        members = sorted(
+            (k, r) for c, k, r in triples if c == int(color))
+        ranks_in_group = [r for _, r in members]
+        new_rank = ranks_in_group.index(self.rank)
+        leader = ranks_in_group[0]
+        if self.rank == leader:
+            group_world = World(len(ranks_in_group),
+                                timeout=self._world.timeout)
+            outgoing = [group_world if r in ranks_in_group else None
+                        for r in range(self.size)]
+        else:
+            outgoing = [None] * self.size
+        received = self.alltoall(outgoing)
+        return Communicator(received[leader], new_rank)
+
+    # ------------------------------------------------------------------
+    # point-to-point (used sparingly; the paper's codes are collective-only)
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send of a Python object to ``dest``."""
+        if not (0 <= dest < self.size):
+            raise CommUsageError(f"dest {dest} out of range")
+        self._world.p2p_queue(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0, timeout: float | None = 30.0) -> Any:
+        """Receive an object sent by ``source`` with matching ``tag``."""
+        if not (0 <= source < self.size):
+            raise CommUsageError(f"source {source} out of range")
+        q = self._world.p2p_queue(source, self.rank, tag)
+        return q.get(timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(rank={self.rank}, size={self.size})"

@@ -1,0 +1,45 @@
+"""Exception types for the SPMD runtime.
+
+The runtime executes one thread per rank.  Failures must never deadlock the
+world: when any rank raises, the shared barrier is aborted and every other
+rank sees :class:`RankAborted` at its next synchronization point.  The
+launcher then re-raises the *original* failure wrapped in :class:`SpmdError`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpmdError", "RankAborted", "CommUsageError"]
+
+
+class SpmdError(RuntimeError):
+    """Raised by the launcher when one or more ranks failed.
+
+    Attributes
+    ----------
+    failures:
+        Mapping of rank -> exception instance for every rank that raised a
+        "real" error (``RankAborted`` secondary failures are filtered out
+        unless they are the only failures).
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"SPMD execution failed on rank(s) {ranks}: "
+            f"{type(first).__name__}: {first}"
+        )
+
+
+class RankAborted(RuntimeError):
+    """Raised inside a rank when another rank failed and aborted the world."""
+
+
+class CommUsageError(ValueError):
+    """Raised for invalid arguments to communicator operations.
+
+    Collective misuse (mismatched dtypes, wrong-length send lists, invalid
+    roots) is reported eagerly on the calling rank so the failure is local
+    and debuggable rather than a hang.
+    """

@@ -1,0 +1,129 @@
+"""Launching SPMD functions across a world of thread-ranks.
+
+:func:`run_spmd` is the top-level entry point of the runtime: it plays the
+role of ``mpiexec -n <p>``.  The target function receives a
+:class:`~repro.runtime.comm.Communicator` as its first argument and runs
+once per rank; the per-rank return values come back as a list.
+
+Failure semantics: if any rank raises, the world barrier is aborted so the
+remaining ranks unblock with ``RankAborted`` at their next collective; the
+launcher raises :class:`~repro.runtime.errors.SpmdError` carrying the
+original exception(s).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .comm import Communicator, World
+from .errors import RankAborted, SpmdError
+
+__all__ = ["run_spmd", "spmd_traces"]
+
+# Stack-size large enough for deep NumPy/scipy call chains on worker threads.
+_STACK_SIZE = 16 * 1024 * 1024
+
+_last_traces: list | None = None
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = 120.0,
+    collect_traces: bool = True,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
+
+    Parameters
+    ----------
+    nranks:
+        World size.  Each rank is an OS thread; NumPy kernels release the
+        GIL so ranks overlap on multicore hosts.
+    fn:
+        SPMD function.  Must follow BSP discipline: every rank issues the
+        same sequence of collectives.
+    timeout:
+        Per-collective-wait timeout in seconds; converts accidental
+        deadlocks into errors.  ``None`` disables.
+    collect_traces:
+        When true (default) the per-rank :class:`CommTrace` objects are kept
+        and retrievable via :func:`spmd_traces`.
+
+    Returns
+    -------
+    list
+        ``[fn(rank 0 result), ..., fn(rank nranks-1 result)]``.
+
+    Raises
+    ------
+    SpmdError
+        If any rank raised.  The first real failure is the ``__cause__``.
+    """
+    global _last_traces
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+
+    world = World(nranks, timeout=timeout)
+    comms = [Communicator(world, r) for r in range(nranks)]
+    results: list[Any] = [None] * nranks
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    if nranks == 1:
+        # Fast path: run inline (no thread spawn), same semantics.
+        try:
+            results[0] = fn(comms[0], *args, **kwargs)
+        except Exception as exc:
+            raise SpmdError({0: exc}) from exc
+        _last_traces = [c.trace for c in comms] if collect_traces else None
+        return results
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must capture everything
+            with failures_lock:
+                failures[rank] = exc
+            world.abort(f"rank {rank} failed: {type(exc).__name__}: {exc}")
+
+    old_stack = threading.stack_size()
+    try:
+        threading.stack_size(_STACK_SIZE)
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+            for r in range(nranks)
+        ]
+    finally:
+        threading.stack_size(old_stack)
+
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    _last_traces = [c.trace for c in comms] if collect_traces else None
+
+    if failures:
+        primary = {r: e for r, e in failures.items() if not isinstance(e, RankAborted)}
+        if not primary:
+            primary = failures
+        err = SpmdError(primary)
+        err.__cause__ = primary[min(primary)]
+        raise err
+    return results
+
+
+def spmd_traces() -> list:
+    """Return the per-rank traces of the most recent :func:`run_spmd` call.
+
+    Raises
+    ------
+    RuntimeError
+        If no traced run has completed yet.
+    """
+    if _last_traces is None:
+        raise RuntimeError("no traced run_spmd call has completed")
+    return _last_traces

@@ -1,0 +1,96 @@
+"""Reduction operators for collective operations.
+
+These mirror the MPI predefined operations.  Each operator is a callable
+``op(a, b) -> c`` that must be associative and commutative, and must accept
+both Python scalars and NumPy arrays (element-wise semantics for arrays,
+exactly as MPI applies the op per element of the buffer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+]
+
+
+class ReduceOp:
+    """A named, associative, commutative binary reduction operator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (used in traces and error messages).
+    fn:
+        Binary function implementing the reduction.
+    identity:
+        Optional identity element, used to fold empty contribution lists.
+    """
+
+    __slots__ = ("name", "fn", "identity")
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any], identity: Any = None):
+        self.name = name
+        self.fn = fn
+        self.identity = identity
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_all(self, values: list[Any]) -> Any:
+        """Fold ``values`` left-to-right with this operator."""
+        if not values:
+            if self.identity is None:
+                raise ValueError(f"cannot reduce empty sequence with {self.name}")
+            return self.identity
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.fn(acc, v)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReduceOp({self.name})"
+
+
+def _maxloc(a, b):
+    """(value, index) pair max; ties resolved to the lower index (MPI rule)."""
+    av, ai = a
+    bv, bi = b
+    if av > bv or (av == bv and ai <= bi):
+        return a
+    return b
+
+
+def _minloc(a, b):
+    av, ai = a
+    bv, bi = b
+    if av < bv or (av == bv and ai <= bi):
+        return a
+    return b
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b, identity=0)
+PROD = ReduceOp("PROD", lambda a, b: a * b, identity=1)
+MAX = ReduceOp("MAX", np.maximum)
+MIN = ReduceOp("MIN", np.minimum)
+LAND = ReduceOp("LAND", np.logical_and, identity=True)
+LOR = ReduceOp("LOR", np.logical_or, identity=False)
+BAND = ReduceOp("BAND", lambda a, b: a & b)
+BOR = ReduceOp("BOR", lambda a, b: a | b, identity=0)
+BXOR = ReduceOp("BXOR", lambda a, b: a ^ b, identity=0)
+MAXLOC = ReduceOp("MAXLOC", _maxloc)
+MINLOC = ReduceOp("MINLOC", _minloc)

@@ -1,0 +1,131 @@
+"""Thread-local send queues (paper Algorithm 3).
+
+The paper reduces intra-node synchronization by giving every OpenMP thread a
+small private queue; when it fills, the thread reserves a block of slots in
+the shared per-destination send queue with one atomic fetch-and-add per
+destination and copies its items in.  This module is a faithful Python port
+used by the ablation benchmark (``bench_ablations.py``) to quantify the same
+contention trade-off: per-item synchronized appends vs. block-reserved
+flushes.
+
+The production analytics in :mod:`repro.analytics` use vectorized NumPy
+queue construction instead (the idiomatic Python expression of the same
+data-parallel loops); this module exists to reproduce the paper's
+shared-memory design point explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["SharedSendQueues", "ThreadLocalQueue"]
+
+
+class SharedSendQueues:
+    """Per-destination shared send queues with atomic block reservation.
+
+    Parameters
+    ----------
+    counts:
+        ``counts[d]`` = total number of items destined for partition ``d``
+        (from the counting pass of the two-pass queue construction).
+    n_channels:
+        Number of parallel value arrays per item (e.g. 2 for the paper's
+        ``vsend``/``lsend`` pair: a vertex id and its label).
+    dtype:
+        Element dtype of all channels.
+    """
+
+    def __init__(self, counts: np.ndarray, n_channels: int = 1, dtype=np.int64):
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1 or (counts < 0).any():
+            raise ValueError("counts must be a 1-D non-negative array")
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        self.nparts = len(counts)
+        self.counts = counts
+        self.offsets = np.concatenate(([0], np.cumsum(counts)))  # SendOffs
+        total = int(self.offsets[-1])
+        self.channels = [np.empty(total, dtype=dtype) for _ in range(n_channels)]
+        # SendOffsCpy: the running cursor per destination, advanced atomically.
+        self._cursor = self.offsets[:-1].copy()
+        self._lock = threading.Lock()  # stands in for `#pragma omp atomic capture`
+
+    def reserve(self, dest: int, n: int) -> int:
+        """Atomically reserve ``n`` slots in destination ``dest``'s region.
+
+        Returns the starting index of the reserved block.  Raises if the
+        reservation would overflow the counted capacity (a counting-pass /
+        fill-pass mismatch, which is always a caller bug).
+        """
+        with self._lock:
+            start = int(self._cursor[dest])
+            end = start + n
+            if end > self.offsets[dest + 1]:
+                raise ValueError(
+                    f"overflow on destination {dest}: counted "
+                    f"{self.counts[dest]} items but more were pushed")
+            self._cursor[dest] = end
+        return start
+
+    def buffers_for(self, dest: int) -> list[np.ndarray]:
+        """Views of each channel's region for destination ``dest``."""
+        lo, hi = self.offsets[dest], self.offsets[dest + 1]
+        return [ch[lo:hi] for ch in self.channels]
+
+    def filled(self) -> bool:
+        """True when every destination region is exactly full."""
+        return bool(np.array_equal(self._cursor, self.offsets[1:]))
+
+
+class ThreadLocalQueue:
+    """A thread's private staging queue (paper's ``vsend_t``/``lsend_t``).
+
+    Items are buffered locally and flushed to the shared queues in
+    destination-grouped blocks, one atomic reservation per destination per
+    flush.  ``qsize`` is the paper's ``QSIZE`` tuning parameter.
+    """
+
+    def __init__(self, shared: SharedSendQueues, qsize: int = 1024):
+        if qsize < 1:
+            raise ValueError("qsize must be >= 1")
+        self.shared = shared
+        self.qsize = qsize
+        self._dest = np.empty(qsize, dtype=np.int64)
+        self._vals = [np.empty(qsize, dtype=ch.dtype) for ch in shared.channels]
+        self._count = 0
+
+    def push(self, dest: int, *values) -> None:
+        """Stage one item for ``dest``; flushes automatically when full."""
+        if len(values) != len(self._vals):
+            raise ValueError(
+                f"expected {len(self._vals)} values per item, got {len(values)}")
+        i = self._count
+        self._dest[i] = dest
+        for ch, v in zip(self._vals, values):
+            ch[i] = v
+        self._count = i + 1
+        if self._count == self.qsize:
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain the private queue into the shared queues."""
+        n = self._count
+        if n == 0:
+            return
+        dests = self._dest[:n]
+        order = np.argsort(dests, kind="stable")
+        sorted_dests = dests[order]
+        # Group contiguous runs per destination; one reservation per run.
+        boundaries = np.flatnonzero(np.diff(sorted_dests)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for lo, hi in zip(starts, ends):
+            d = int(sorted_dests[lo])
+            block = order[lo:hi]
+            off = self.shared.reserve(d, hi - lo)
+            for ch_shared, ch_local in zip(self.shared.channels, self._vals):
+                ch_shared[off : off + (hi - lo)] = ch_local[:n][block]
+        self._count = 0

@@ -1,0 +1,145 @@
+"""Per-rank communication and computation tracing.
+
+Every collective records an event with the number of bytes sent/received,
+the number of point-to-point messages it implies (for the alpha term of the
+alpha-beta cost model), and two measured durations:
+
+``wait_s``
+    time spent at the entry barrier waiting for the slowest rank — the
+    paper's *idle* time component (Fig. 3);
+``xfer_s``
+    time spent moving/combining buffers once everyone arrived — the
+    *communication* component.
+
+Computation time is attributed implicitly: the tracer timestamps the moment
+a rank leaves a collective, and the gap until it enters the next one is
+counted as compute.  This reproduces the paper's three-way breakdown without
+instrumenting any algorithm code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["CommEvent", "CommTrace"]
+
+
+@dataclass
+class CommEvent:
+    """One collective operation as seen by one rank."""
+
+    op: str
+    bytes_sent: int
+    bytes_recv: int
+    msg_count: int
+    wait_s: float
+    xfer_s: float
+    t_enter: float
+    region: str | None = None
+
+
+@dataclass
+class CommTrace:
+    """Accumulated trace for a single rank.
+
+    Attributes
+    ----------
+    events:
+        Chronological list of collective events.
+    compute_s:
+        Total seconds spent outside collectives (between leaving one
+        collective and entering the next).
+    """
+
+    rank: int
+    events: list[CommEvent] = field(default_factory=list)
+    compute_s: float = 0.0
+    _last_leave: float | None = field(default=None, repr=False)
+    _region: str | None = field(default=None, repr=False)
+
+    def mark_enter(self) -> float:
+        """Called by the communicator when a rank enters a collective."""
+        now = time.perf_counter()
+        if self._last_leave is not None:
+            self.compute_s += now - self._last_leave
+        return now
+
+    def mark_leave(self) -> None:
+        self._last_leave = time.perf_counter()
+
+    def record(
+        self,
+        op: str,
+        bytes_sent: int,
+        bytes_recv: int,
+        msg_count: int,
+        wait_s: float,
+        xfer_s: float,
+        t_enter: float,
+    ) -> None:
+        self.events.append(
+            CommEvent(
+                op=op,
+                bytes_sent=bytes_sent,
+                bytes_recv=bytes_recv,
+                msg_count=msg_count,
+                wait_s=wait_s,
+                xfer_s=xfer_s,
+                t_enter=t_enter,
+                region=self._region,
+            )
+        )
+
+    def set_region(self, name: str | None) -> None:
+        """Tag subsequent events with a region label (e.g. an analytic name)."""
+        self._region = name
+
+    def reset(self) -> None:
+        """Clear all accumulated events and timers (keeps the rank id)."""
+        self.events.clear()
+        self.compute_s = 0.0
+        self._last_leave = None
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def bytes_sent(self) -> int:
+        return sum(e.bytes_sent for e in self.events)
+
+    @property
+    def bytes_recv(self) -> int:
+        return sum(e.bytes_recv for e in self.events)
+
+    @property
+    def msg_count(self) -> int:
+        return sum(e.msg_count for e in self.events)
+
+    @property
+    def idle_s(self) -> float:
+        return sum(e.wait_s for e in self.events)
+
+    @property
+    def comm_s(self) -> float:
+        return sum(e.xfer_s for e in self.events)
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.idle_s + self.comm_s
+
+    def events_in(self, region: str) -> list[CommEvent]:
+        return [e for e in self.events if e.region == region]
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary view used by the perf model and benches."""
+        return {
+            "rank": self.rank,
+            "compute_s": self.compute_s,
+            "idle_s": self.idle_s,
+            "comm_s": self.comm_s,
+            "bytes_sent": self.bytes_sent,
+            "bytes_recv": self.bytes_recv,
+            "msg_count": self.msg_count,
+            "n_collectives": len(self.events),
+        }

@@ -1,0 +1,108 @@
+"""Baseline engines: correctness vs. references, and failure modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GASEngine,
+    GASPageRank,
+    GASWCC,
+    PregelEngine,
+    PregelPageRank,
+    PregelWCC,
+    SemiExternalEngine,
+    coreness_ref,
+    pagerank_ref,
+    wcc_labels_ref,
+)
+from repro.generators import webcrawl_edges
+
+
+@pytest.fixture(scope="module")
+def graph():
+    n = 300
+    edges = np.unique(webcrawl_edges(n, avg_degree=5, seed=21), axis=0)
+    return n, edges
+
+
+def test_pregel_pagerank_close_to_reference(graph):
+    n, edges = graph
+    eng = PregelEngine(n, edges)
+    got = np.array(eng.run(PregelPageRank(n_iters=40), max_supersteps=60))
+    ref = pagerank_ref(n, edges)
+    # Pregel's textbook formulation has no dangling redistribution, so only
+    # rank ordering and strong correlation are expected.
+    assert np.corrcoef(got, ref)[0, 1] > 0.99
+
+
+def test_pregel_wcc_exact(graph):
+    n, edges = graph
+    eng = PregelEngine(n, edges)
+    got = np.array(eng.run(PregelWCC(), max_supersteps=200), dtype=np.int64)
+    assert (got == wcc_labels_ref(n, edges)).all()
+
+
+def test_pregel_memory_limit_failure(graph):
+    """The framework-OOM failure mode of Fig. 4."""
+    n, edges = graph
+    eng = PregelEngine(n, edges, memory_limit=10_000)
+    with pytest.raises(MemoryError):
+        eng.run(PregelPageRank(n_iters=5), max_supersteps=10)
+
+
+def test_pregel_halts_when_inactive():
+    edges = np.array([[0, 1]], dtype=np.int64)
+    eng = PregelEngine(2, edges)
+    eng.run(PregelWCC(), max_supersteps=50)
+    assert eng.supersteps_run < 10
+
+
+def test_gas_wcc_exact(graph):
+    n, edges = graph
+    eng = GASEngine(n, edges)
+    got = eng.run(GASWCC(), max_supersteps=300).astype(np.int64)
+    assert (got == wcc_labels_ref(n, edges)).all()
+
+
+def test_gas_pagerank_close(graph):
+    n, edges = graph
+    eng = GASEngine(n, edges)
+    got = eng.run(GASPageRank(n_iters=40), max_supersteps=60)
+    assert np.corrcoef(got, pagerank_ref(n, edges))[0, 1] > 0.99
+
+
+def test_gas_hybrid_lowers_replication(graph):
+    n, edges = graph
+    plain = GASEngine(n, edges, hybrid=False)
+    hybrid = GASEngine(n, edges, hybrid=True)
+    assert hybrid.replication.sum() < plain.replication.sum()
+
+
+@pytest.mark.parametrize("standalone", [True, False])
+def test_semi_external_pagerank(graph, tmp_path, standalone):
+    n, edges = graph
+    eng = SemiExternalEngine.from_edges(
+        n, edges, tmp_path / "e.bin", standalone=standalone, chunk_edges=64)
+    got = eng.pagerank(n_iters=150)
+    assert np.abs(got - pagerank_ref(n, edges)).max() < 1e-6
+
+
+def test_semi_external_wcc(graph, tmp_path):
+    n, edges = graph
+    eng = SemiExternalEngine.from_edges(n, edges, tmp_path / "e.bin",
+                                        chunk_edges=128)
+    assert (eng.wcc_labels() == wcc_labels_ref(n, edges)).all()
+
+
+def test_semi_external_out_degrees(graph, tmp_path):
+    n, edges = graph
+    eng = SemiExternalEngine.from_edges(n, edges, tmp_path / "e.bin")
+    assert (eng.out_degrees() == np.bincount(edges[:, 0], minlength=n)).all()
+
+
+def test_coreness_ref_simple():
+    # Triangle + pendant: coreness [2,2,2,1].
+    edges = np.array([[0, 1], [1, 2], [2, 0], [2, 3]], dtype=np.int64)
+    assert coreness_ref(4, edges).tolist() == [2, 2, 2, 1]

@@ -1,0 +1,101 @@
+"""Bow-tie decomposition of directed graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import dist_run, gather_by_gid
+from repro.analysis import (
+    CORE,
+    DISCONNECTED,
+    IN,
+    OUT,
+    TENDRIL,
+    bowtie_decomposition,
+)
+from repro.runtime import SUM
+
+
+def run_bowtie(edges, n, p):
+    def fn(comm, g):
+        r = bowtie_decomposition(comm, g)
+        return g.unmap[: g.n_loc], r.region, r.sizes
+
+    outs = dist_run(edges, n, p, fn)
+    return gather_by_gid(outs), outs[0][2]
+
+
+def test_textbook_bowtie():
+    """IN -> core cycle -> OUT, a tendril off IN, one disconnected pair."""
+    edges = np.array(
+        [
+            # core: 3-cycle {2, 3, 4}
+            [2, 3], [3, 4], [4, 2],
+            # IN: 0 -> 1 -> 2
+            [0, 1], [1, 2],
+            # OUT: 4 -> 5 -> 6
+            [4, 5], [5, 6],
+            # tendril hanging off IN vertex 1 (does not reach the core)
+            [1, 7],
+            # disconnected component {8, 9}
+            [8, 9],
+        ],
+        dtype=np.int64,
+    )
+    region, sizes = run_bowtie(edges, 10, 2)
+    assert region[2] == region[3] == region[4] == CORE
+    assert region[0] == region[1] == IN
+    assert region[5] == region[6] == OUT
+    assert region[7] == TENDRIL
+    assert region[8] == region[9] == DISCONNECTED
+    assert sizes[CORE] == 3 and sizes[IN] == 2 and sizes[OUT] == 2
+
+
+def test_all_core():
+    k = 6
+    edges = np.array([[i, (i + 1) % k] for i in range(k)], dtype=np.int64)
+    region, sizes = run_bowtie(edges, k, 2)
+    assert (region == CORE).all()
+    assert sizes == {CORE: k}
+
+
+def test_regions_partition_vertices(small_web):
+    n, edges = small_web
+    region, sizes = run_bowtie(edges, n, 3)
+    assert sum(sizes.values()) == n
+    assert len(region) == n
+
+
+def test_web_graph_has_bowtie_shape(small_web):
+    """The crawl stand-in must show a dominant core with IN/OUT wings."""
+    n, edges = small_web
+    _, sizes = run_bowtie(edges, n, 2)
+    assert sizes.get(CORE, 0) > 0.3 * n
+    assert sizes.get(IN, 0) > 0
+    assert sizes.get(OUT, 0) > 0
+
+
+def test_rank_invariance(small_web):
+    n, edges = small_web
+    r1, s1 = run_bowtie(edges, n, 1)
+    r4, s4 = run_bowtie(edges, n, 4)
+    assert (r1 == r4).all()
+    assert s1 == s4
+
+
+def test_empty_graph():
+    region, sizes = run_bowtie(np.empty((0, 2), dtype=np.int64), 4, 2)
+    assert (region == DISCONNECTED).all()
+    assert sizes == {DISCONNECTED: 4}
+
+
+def test_fractions():
+    edges = np.array([[0, 1], [1, 0]], dtype=np.int64)
+
+    def fn(comm, g):
+        return bowtie_decomposition(comm, g).fractions(3)
+
+    frac = dist_run(edges, 3, 2, fn)[0]
+    assert frac["core"] == pytest.approx(2 / 3)
+    assert frac["disconnected"] == pytest.approx(1 / 3)

@@ -1,0 +1,218 @@
+"""Distributed graph construction invariants (paper §III-A/C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, make_partition
+from repro.graph import build_dist_graph, build_dist_graph_with_stats
+from repro.partition import VertexBlockPartition
+from repro.runtime import SUM, SpmdError, run_spmd
+
+
+def _build(edges, n, p, part_kind="vblock"):
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = make_partition(part_kind, comm, n, chunk)
+        g, stats = build_dist_graph_with_stats(comm, chunk, part)
+        g.validate()
+        return g, stats
+
+    return run_spmd(p, job)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4])
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_edge_conservation(small_web, p, kind):
+    n, edges = small_web
+    outs = _build(edges, n, p, kind)
+    assert sum(g.m_out for g, _ in outs) == len(edges)
+    assert sum(g.m_in for g, _ in outs) == len(edges)
+    assert sum(g.n_loc for g, _ in outs) == n
+    for g, _ in outs:
+        assert g.m_global == len(edges)
+        assert g.n_global == n
+
+
+@pytest.mark.parametrize("p", [1, 3])
+def test_degrees_match_global(small_web, p):
+    n, edges = small_web
+    outs = _build(edges, n, p)
+    out_deg = np.zeros(n, dtype=np.int64)
+    in_deg = np.zeros(n, dtype=np.int64)
+    for g, _ in outs:
+        gids = g.unmap[: g.n_loc]
+        out_deg[gids] = g.out_degrees()
+        in_deg[gids] = g.in_degrees()
+    assert (out_deg == np.bincount(edges[:, 0], minlength=n)).all()
+    assert (in_deg == np.bincount(edges[:, 1], minlength=n)).all()
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_adjacency_content_matches_input(small_web, p):
+    """Every local out-edge maps back to an input edge (as global pair)."""
+    n, edges = small_web
+    outs = _build(edges, n, p)
+    rebuilt = []
+    for g, _ in outs:
+        from repro.graph import expand_rows
+
+        src_g = g.unmap[expand_rows(g.out_indexes)]
+        dst_g = g.unmap[g.out_edges]
+        rebuilt.append(np.stack([src_g, dst_g], axis=1))
+    rebuilt = np.concatenate(rebuilt)
+    key = lambda e: e[:, 0] * (10**9) + e[:, 1]
+    assert sorted(key(rebuilt).tolist()) == sorted(key(edges).tolist())
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_in_edges_are_reverse_of_out(small_web, p):
+    n, edges = small_web
+    outs = _build(edges, n, p)
+    rebuilt = []
+    for g, _ in outs:
+        from repro.graph import expand_rows
+
+        dst_g = g.unmap[expand_rows(g.in_indexes)]
+        src_g = g.unmap[g.in_edges]
+        rebuilt.append(np.stack([src_g, dst_g], axis=1))
+    rebuilt = np.concatenate(rebuilt)
+    key = lambda e: e[:, 0] * (10**9) + e[:, 1]
+    assert sorted(key(rebuilt).tolist()) == sorted(key(edges).tolist())
+
+
+def test_ghosts_are_exactly_offrank_neighbors(small_web):
+    n, edges = small_web
+    outs = _build(edges, n, 3)
+    for g, _ in outs:
+        nbr_g = np.unique(g.unmap[np.concatenate([g.out_edges, g.in_edges])]) \
+            if g.m_out + g.m_in else np.empty(0, dtype=np.int64)
+        owners = g.partition.owner_of(nbr_g) if len(nbr_g) else nbr_g
+        expect = np.sort(nbr_g[owners != g.rank]) if len(nbr_g) else nbr_g
+        assert np.array_equal(np.sort(g.unmap[g.n_loc:]), expect)
+
+
+def test_ghost_owner_array(small_web):
+    n, edges = small_web
+    outs = _build(edges, n, 4)
+    for g, _ in outs:
+        if g.n_gst:
+            assert (g.ghost_tasks != g.rank).all()
+            assert (g.ghost_tasks == g.partition.owner_of(g.unmap[g.n_loc:])).all()
+
+
+def test_build_stats_populated(small_web):
+    n, edges = small_web
+    outs = _build(edges, n, 2)
+    for g, stats in outs:
+        assert stats.exchange_s >= 0.0
+        assert stats.convert_s >= 0.0
+        assert stats.m_out == g.m_out
+        assert stats.total_s == stats.exchange_s + stats.convert_s
+
+
+def test_build_rejects_bad_shapes():
+    def job(comm):
+        part = VertexBlockPartition(4, comm.size)
+        build_dist_graph(comm, np.arange(6), part)
+
+    with pytest.raises(SpmdError):
+        run_spmd(1, job)
+
+
+def test_build_rejects_partition_size_mismatch():
+    def job(comm):
+        part = VertexBlockPartition(4, comm.size + 1)
+        build_dist_graph(comm, np.empty((0, 2), dtype=np.int64), part)
+
+    with pytest.raises(SpmdError):
+        run_spmd(2, job)
+
+
+def test_empty_graph():
+    def job(comm):
+        part = VertexBlockPartition(10, comm.size)
+        g = build_dist_graph(comm, np.empty((0, 2), dtype=np.int64), part)
+        g.validate()
+        return g.n_loc, g.n_gst, g.m_out
+
+    outs = run_spmd(2, job)
+    assert sum(o[0] for o in outs) == 10
+    assert all(o[1] == 0 and o[2] == 0 for o in outs)
+
+
+def test_self_loops_and_duplicates(tiny_multi):
+    n, edges = tiny_multi
+    outs = _build(edges, n, 3)
+    assert sum(g.m_out for g, _ in outs) == len(edges)
+    for g, _ in outs:
+        g.validate()
+
+
+def test_arbitrary_edge_distribution():
+    """Construction must not assume any edge-to-rank mapping of the input."""
+    n = 100
+    rng = np.random.default_rng(8)
+    edges = rng.integers(0, n, size=(500, 2), dtype=np.int64)
+
+    def job(comm):
+        # Round-robin instead of contiguous chunks.
+        chunk = edges[comm.rank :: comm.size]
+        part = VertexBlockPartition(n, comm.size)
+        g = build_dist_graph(comm, chunk, part)
+        g.validate()
+        return g.m_out
+
+    assert sum(run_spmd(3, job)) == 500
+
+
+def test_memory_bytes_positive(small_web):
+    n, edges = small_web
+    outs = _build(edges, n, 2)
+    for g, _ in outs:
+        assert g.memory_bytes() > 0
+
+
+def test_owner_of_local(small_web):
+    n, edges = small_web
+    outs = _build(edges, n, 3)
+    for g, _ in outs:
+        lids = np.arange(g.n_total)
+        owners = g.owner_of_local(lids)
+        assert (owners[: g.n_loc] == g.rank).all()
+        if g.n_gst:
+            assert (owners[g.n_loc :] == g.ghost_tasks).all()
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_streaming_build_matches_batch(small_web, tmp_path, p):
+    """The bounded-memory file builder must produce the identical graph."""
+    from repro.graph import build_dist_graph_from_file
+    from repro.io import write_edges
+
+    n, edges = small_web
+    path = tmp_path / "stream.bin"
+    write_edges(path, edges)
+
+    def job(comm):
+        part = VertexBlockPartition(n, comm.size)
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        full = build_dist_graph(comm, chunk, part)
+        streamed = build_dist_graph_from_file(comm, path, part,
+                                              batch_edges=97)
+        streamed.validate()
+        assert streamed.n_loc == full.n_loc
+        assert streamed.m_out == full.m_out
+        assert streamed.m_in == full.m_in
+        assert (streamed.out_indexes == full.out_indexes).all()
+        assert (streamed.in_indexes == full.in_indexes).all()
+        # Same multiset of neighbors per row (order may differ: stream
+        # arrival order is batch-dependent).
+        for v in range(min(streamed.n_loc, 50)):
+            a = np.sort(streamed.unmap[streamed.out_neighbors(v)])
+            b = np.sort(full.unmap[full.out_neighbors(v)])
+            assert (a == b).all()
+        return True
+
+    assert all(run_spmd(p, job))

@@ -1,0 +1,74 @@
+"""Machine-model calibration from live microbenchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf import calibrate_local, fit_alpha_beta
+
+
+def test_fit_alpha_beta_exact_line():
+    sizes = np.array([0.0, 10.0, 20.0, 30.0])
+    times = 2.0 + 0.5 * sizes
+    alpha, beta = fit_alpha_beta(sizes, times)
+    assert alpha == pytest.approx(2.0)
+    assert beta == pytest.approx(0.5)
+
+
+def test_fit_clamps_negative_intercept():
+    sizes = np.array([1.0, 2.0, 3.0])
+    times = np.array([0.0, 0.5, 1.0])  # intercept -0.5
+    alpha, beta = fit_alpha_beta(sizes, times)
+    assert alpha > 0
+    assert beta == pytest.approx(0.5)
+
+
+def test_fit_needs_two_points():
+    with pytest.raises(ValueError):
+        fit_alpha_beta(np.array([1.0]), np.array([1.0]))
+
+
+def test_calibrate_local_produces_sane_model():
+    m = calibrate_local(nranks=2, payload_sizes=(1 << 10, 1 << 15, 1 << 18),
+                        kernel_n=2_000, kernel_m=20_000)
+    assert m.alpha > 0
+    assert m.beta > 0
+    assert m.edge_rate > 1e5  # any modern machine far exceeds this
+    assert m.comm_time(10, 1e6) > 0
+    assert m.compute_time(1e6) > 0
+
+
+def test_calibrated_model_predicts_same_order_of_magnitude():
+    """End-to-end modeling check: the calibrated model's PageRank
+    prediction lands within ~30x of a real run on the same host (thread
+    ranks are noisy; this guards against unit errors, not precision)."""
+    import time
+
+    from repro.analytics import pagerank
+    from repro.generators import webcrawl_edges
+    from repro.graph import build_dist_graph
+    from repro.partition import VertexBlockPartition
+    from repro.perf import pagerank_like_costs, predict_iteration
+    from repro.runtime import run_spmd
+
+    n, p = 20_000, 2
+    edges = webcrawl_edges(n, avg_degree=10, seed=2)
+    machine = calibrate_local(nranks=p)
+
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        g = build_dist_graph(comm, chunk, VertexBlockPartition(n, comm.size))
+        comm.barrier()
+        t0 = time.perf_counter()
+        pagerank(comm, g, max_iters=10)
+        comm.barrier()
+        return (time.perf_counter() - t0) / 10
+
+    measured = max(run_spmd(p, job))
+    predicted = predict_iteration(
+        pagerank_like_costs(edges, VertexBlockPartition(n, p)),
+        machine).total
+    assert predicted > 0
+    ratio = measured / predicted
+    assert 1 / 30 < ratio < 30, (measured, predicted)

@@ -1,0 +1,128 @@
+"""Compressed CSR: varint codec, round-trips, footprint."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CompressedCSR, build_csr, varint_decode, varint_encode
+from repro.generators import webcrawl_edges
+
+
+class TestVarint:
+    def test_single_byte_values(self):
+        enc = varint_encode(np.array([0, 1, 127]))
+        assert len(enc) == 3
+        assert (varint_decode(enc) == [0, 1, 127]).all()
+
+    def test_multi_byte_values(self):
+        vals = np.array([128, 16_383, 16_384, 2**62])
+        enc = varint_encode(vals)
+        assert (varint_decode(enc, count=4) == vals).all()
+
+    def test_byte_lengths(self):
+        assert len(varint_encode(np.array([127]))) == 1
+        assert len(varint_encode(np.array([128]))) == 2
+        assert len(varint_encode(np.array([2**14]))) == 3
+
+    def test_empty(self):
+        assert len(varint_encode(np.array([], dtype=np.int64))) == 0
+        assert len(varint_decode(np.array([], dtype=np.uint8))) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varint_encode(np.array([-1]))
+
+    def test_truncated_stream_rejected(self):
+        enc = varint_encode(np.array([300]))
+        with pytest.raises(ValueError):
+            varint_decode(enc[:-1])
+
+    def test_count_mismatch_rejected(self):
+        enc = varint_encode(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            varint_decode(enc, count=3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), max_size=400))
+    def test_property_roundtrip(self, values):
+        vals = np.array(values, dtype=np.int64)
+        assert (varint_decode(varint_encode(vals), count=len(vals))
+                == vals).all()
+
+
+class TestCompressedCSR:
+    def _random_csr(self, n, m, seed, id_space=10**6):
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, m).astype(np.int64)
+        dst = rng.integers(0, id_space, m).astype(np.int64)
+        return build_csr(n, src, dst)
+
+    def test_roundtrip_sorted_rows(self):
+        indptr, adj = self._random_csr(100, 3000, 1)
+        c = CompressedCSR.from_csr(indptr, adj)
+        ip2, adj2 = c.decode_all()
+        assert (ip2 == indptr).all()
+        for v in range(100):
+            assert (adj2[ip2[v] : ip2[v + 1]]
+                    == np.sort(adj[indptr[v] : indptr[v + 1]])).all()
+
+    def test_single_row_decode(self):
+        indptr, adj = self._random_csr(50, 1000, 2)
+        c = CompressedCSR.from_csr(indptr, adj)
+        for v in (0, 17, 49):
+            assert (c.row(v) == np.sort(adj[indptr[v] : indptr[v + 1]])).all()
+        with pytest.raises(IndexError):
+            c.row(50)
+
+    def test_rows_batch_decode(self):
+        indptr, adj = self._random_csr(80, 2000, 3)
+        c = CompressedCSR.from_csr(indptr, adj)
+        sel = np.array([7, 0, 79, 7, 33])
+        got = c.rows(sel)
+        expect = np.concatenate(
+            [np.sort(adj[indptr[v] : indptr[v + 1]]) for v in sel])
+        assert (got == expect).all()
+
+    def test_empty_rows_handled(self):
+        indptr, adj = build_csr(5, np.array([1, 1, 4]), np.array([9, 3, 9]))
+        c = CompressedCSR.from_csr(indptr, adj)
+        assert len(c.row(0)) == 0
+        assert c.row(1).tolist() == [3, 9]
+        assert (c.rows(np.array([0, 2, 1, 3])) == [3, 9]).all()
+
+    def test_empty_graph(self):
+        indptr, adj = build_csr(4, np.array([], dtype=np.int64),
+                                np.array([], dtype=np.int64))
+        c = CompressedCSR.from_csr(indptr, adj)
+        assert c.nbytes > 0
+        assert len(c.rows(np.arange(4))) == 0
+
+    def test_compression_beats_plain_on_web_graph(self):
+        n = 10_000
+        edges = webcrawl_edges(n, avg_degree=16, seed=1)
+        indptr, adj = build_csr(n, edges[:, 0], edges[:, 1])
+        c = CompressedCSR.from_csr(indptr, adj)
+        assert c.compression_ratio() > 2.0
+
+    def test_duplicate_neighbors_preserved(self):
+        indptr, adj = build_csr(2, np.array([0, 0, 0]), np.array([5, 5, 2]))
+        c = CompressedCSR.from_csr(indptr, adj)
+        assert c.row(0).tolist() == [2, 5, 5]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=0, max_value=300),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_roundtrip(self, n, m, seed):
+        indptr, adj = self._random_csr(n, m, seed, id_space=10**9)
+        c = CompressedCSR.from_csr(indptr, adj)
+        ip2, adj2 = c.decode_all()
+        assert (ip2 == indptr).all()
+        rows = np.repeat(np.arange(n), np.diff(indptr))
+        expect = adj[np.lexsort((adj, rows))]
+        assert (adj2 == expect).all()

@@ -1,0 +1,88 @@
+"""Double-sweep diameter estimation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import dist_run
+from repro.analytics import estimate_diameter
+from repro.baselines import digraph_from_edges
+
+
+def run_est(edges, n, p, **kw):
+    def fn(comm, g):
+        r = estimate_diameter(comm, g, **kw)
+        return r.lower_bound, r.sweeps, r.endpoints
+
+    return dist_run(edges, n, p, fn)[0]
+
+
+def test_path_graph_exact():
+    k = 12
+    edges = np.array([[i, i + 1] for i in range(k - 1)], dtype=np.int64)
+    lb, sweeps, (a, b) = run_est(edges, k, 2, sweeps=3)
+    assert lb == k - 1  # double sweep is exact on trees
+    assert {a, b} == {0, k - 1}
+
+
+def test_cycle_graph():
+    k = 10
+    edges = np.array([[i, (i + 1) % k] for i in range(k)], dtype=np.int64)
+    lb, _, _ = run_est(edges, k, 2, sweeps=4)
+    assert lb == k // 2  # exact for even cycles
+
+
+def test_lower_bound_property(small_web):
+    """The estimate never exceeds the true diameter of the giant WCC."""
+    n, edges = small_web
+    lb, _, _ = run_est(edges, n, 3, sweeps=4)
+    G = digraph_from_edges(n, edges).to_undirected()
+    giant = max(nx.connected_components(G), key=len)
+    true_d = nx.diameter(G.subgraph(giant))
+    assert 1 <= lb <= true_d
+    # Double sweep is typically tight on web-like graphs.
+    assert lb >= true_d - 2
+
+
+def test_more_sweeps_never_worse(small_web):
+    n, edges = small_web
+    lb1, _, _ = run_est(edges, n, 2, sweeps=1)
+    lb4, _, _ = run_est(edges, n, 2, sweeps=4)
+    assert lb4 >= lb1
+
+
+def test_explicit_start(small_web):
+    n, edges = small_web
+    lb, sweeps, (a, _) = run_est(edges, n, 2, sweeps=2, start=int(edges[0, 0]))
+    assert sweeps <= 2
+    assert lb >= 1
+
+
+def test_isolated_start():
+    edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+    lb, _, _ = run_est(edges, 5, 2, sweeps=3, start=4)  # isolated vertex
+    assert lb == 0
+
+
+def test_empty_graph():
+    lb, sweeps, (a, b) = run_est(np.empty((0, 2), dtype=np.int64), 4, 2)
+    assert lb == 0
+
+
+def test_invalid_params(small_web):
+    from repro.runtime import SpmdError
+
+    n, edges = small_web
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1, lambda c, g: estimate_diameter(c, g, sweeps=0))
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1, lambda c, g: estimate_diameter(c, g, start=n + 1))
+
+
+def test_rank_count_invariance(small_web):
+    n, edges = small_web
+    a = run_est(edges, n, 1, sweeps=3)
+    b = run_est(edges, n, 4, sweeps=3)
+    assert a == b

@@ -1,0 +1,129 @@
+"""Halo (ghost) exchange correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run
+from repro.analytics import HaloExchange
+from repro.runtime import SpmdError, run_spmd
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_ghosts_receive_owner_values(small_web, p, kind):
+    """After exchange, every ghost slot holds f(global id of the ghost)."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        vals = np.zeros(g.n_total, dtype=np.int64)
+        vals[: g.n_loc] = g.unmap[: g.n_loc] * 3 + 1
+        halo.exchange(vals)
+        expect = g.unmap * 3 + 1
+        assert (vals == expect).all()
+        return True
+
+    assert all(dist_run(edges, n, p, fn, kind))
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_exchange_float_values(small_web, p):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        vals = np.zeros(g.n_total, dtype=np.float64)
+        vals[: g.n_loc] = np.sqrt(g.unmap[: g.n_loc].astype(np.float64))
+        halo.exchange(vals)
+        assert np.allclose(vals, np.sqrt(g.unmap.astype(np.float64)))
+        return True
+
+    assert all(dist_run(edges, n, p, fn))
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_exchange_with_ids_matches_optimized(small_web, p):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        a = np.zeros(g.n_total)
+        b = np.zeros(g.n_total)
+        a[: g.n_loc] = b[: g.n_loc] = g.unmap[: g.n_loc] * 1.5
+        halo.exchange(a)
+        halo.exchange_with_ids(b)
+        assert (a == b).all()
+        return True
+
+    assert all(dist_run(edges, n, p, fn))
+
+
+def test_repeated_exchanges_track_updates(small_web):
+    """Ghost values follow the owners across multiple iterations."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        vals = np.zeros(g.n_total, dtype=np.int64)
+        for it in range(4):
+            vals[: g.n_loc] = g.unmap[: g.n_loc] + 1000 * it
+            halo.exchange(vals)
+            assert (vals[g.n_loc :] == g.unmap[g.n_loc :] + 1000 * it).all()
+        return True
+
+    assert all(dist_run(edges, n, 3, fn))
+
+
+def test_exchange_many(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        a = np.zeros(g.n_total)
+        b = np.zeros(g.n_total)
+        a[: g.n_loc] = 1.0
+        b[: g.n_loc] = 2.0
+        halo.exchange_many(a, b)
+        assert (a[g.n_loc :] == 1.0).all() and (b[g.n_loc :] == 2.0).all()
+        return True
+
+    assert all(dist_run(edges, n, 2, fn))
+
+
+def test_wrong_length_rejected(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        halo.exchange(np.zeros(g.n_total + 1))
+
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 2, fn)
+
+
+def test_single_rank_has_no_ghosts(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        assert halo.n_ghosts == 0
+        assert halo.n_sent_per_iter == 0
+        vals = np.arange(g.n_total, dtype=np.float64)
+        halo.exchange(vals)  # no-op but must not fail
+        return True
+
+    assert all(dist_run(edges, n, 1, fn))
+
+
+def test_traffic_counts_symmetric(small_web):
+    """Total values sent must equal total ghosts across ranks."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        return halo.n_sent_per_iter, halo.n_ghosts
+
+    outs = dist_run(edges, n, 4, fn)
+    assert sum(o[0] for o in outs) == sum(o[1] for o in outs)

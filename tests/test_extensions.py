@@ -1,0 +1,325 @@
+"""Extension analytics: direction-optimizing BFS, SSSP, exact k-core,
+degree analysis, graph checkpointing."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid, make_partition
+from repro.analytics import (
+    default_weights,
+    distributed_bfs,
+    distributed_bfs_dirop,
+    exact_kcore,
+    sssp,
+)
+from repro.analysis import degree_distribution, degree_stats
+from repro.baselines import coreness_ref, digraph_from_edges
+from repro.graph import build_dist_graph, expand_rows
+from repro.io import load_graph, save_graph
+from repro.runtime import SpmdError, run_spmd
+
+
+# ---------------------------------------------------------------------------
+# Direction-optimizing BFS
+# ---------------------------------------------------------------------------
+class TestDirOpBFS:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("kind", PARTITION_KINDS)
+    def test_matches_topdown(self, small_web, p, kind):
+        n, edges = small_web
+        root = int(edges[0, 0])
+
+        def fn(comm, g):
+            a = distributed_bfs(comm, g, root, "out")
+            b = distributed_bfs_dirop(comm, g, root)
+            assert (a == b).all()
+            return g.unmap[: g.n_loc], b
+
+        lev = gather_by_gid(dist_run(edges, n, p, fn, kind))
+        assert lev[root] == 0
+
+    def test_forced_bottom_up(self, small_web):
+        """alpha=0 switches to bottom-up immediately; result unchanged."""
+        n, edges = small_web
+        root = int(edges[0, 0])
+
+        def fn(comm, g):
+            a = distributed_bfs(comm, g, root, "out")
+            b = distributed_bfs_dirop(comm, g, root, alpha=0.0, beta=1e-9)
+            return int((a != b).sum())
+
+        assert sum(dist_run(edges, n, 3, fn)) == 0
+
+    def test_forced_top_down(self, small_web):
+        n, edges = small_web
+        root = int(edges[0, 0])
+
+        def fn(comm, g):
+            a = distributed_bfs(comm, g, root, "out")
+            b = distributed_bfs_dirop(comm, g, root, alpha=1e18)
+            return int((a != b).sum())
+
+        assert sum(dist_run(edges, n, 2, fn)) == 0
+
+    def test_invalid_root(self, small_web):
+        n, edges = small_web
+        with pytest.raises(SpmdError):
+            dist_run(edges, n, 1,
+                     lambda c, g: distributed_bfs_dirop(c, g, -5))
+
+
+# ---------------------------------------------------------------------------
+# SSSP
+# ---------------------------------------------------------------------------
+class TestSSSP:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_networkx_dijkstra(self, small_web, p):
+        n, edges = small_web
+        root = int(edges[0, 0])
+
+        # Build the same weights NetworkX will see: weights are a pure
+        # function of endpoint gids, so compute them globally.
+        def fn(comm, g):
+            res = sssp(comm, g, root)
+            return g.unmap[: g.n_loc], res.distances
+
+        dist = gather_by_gid(dist_run(edges, n, p, fn))
+
+        G = nx.DiGraph()
+        G.add_nodes_from(range(n))
+        from repro.analytics.sssp import default_weights as dw
+
+        # Recompute per-edge weights through a 1-rank build for reference.
+        def ref_weights(comm, g):
+            w = dw(g)
+            rows = g.unmap[expand_rows(g.in_indexes)]
+            srcs = g.unmap[g.in_edges]
+            return srcs, rows, w
+
+        srcs, dsts, w = dist_run(edges, n, 1, ref_weights)[0]
+        for u, v, wt in zip(srcs, dsts, w):
+            # Parallel edges: keep the lightest (shortest-path semantics).
+            if G.has_edge(u, v):
+                wt = min(wt, G[u][v]["weight"])
+            G.add_edge(int(u), int(v), weight=float(wt))
+        ref = nx.single_source_dijkstra_path_length(G, root)
+        expect = np.full(n, np.inf)
+        for v, d in ref.items():
+            expect[v] = d
+        assert np.allclose(dist, expect, rtol=1e-12, atol=1e-12)
+
+    def test_unit_weights_equal_bfs(self, small_web):
+        n, edges = small_web
+        root = int(edges[0, 1])
+
+        def fn(comm, g):
+            w = np.ones(g.m_in)
+            res = sssp(comm, g, root, weights=w)
+            lev = distributed_bfs(comm, g, root, "out")
+            d = np.where(lev >= 0, lev.astype(float), np.inf)
+            assert np.allclose(res.distances, d)
+            return res.reached
+
+        reached = dist_run(edges, n, 3, fn)[0]
+        assert reached > 0
+
+    def test_root_distance_zero(self, small_web):
+        n, edges = small_web
+        root = 5
+
+        def fn(comm, g):
+            return g.unmap[: g.n_loc], sssp(comm, g, root).distances
+
+        dist = gather_by_gid(dist_run(edges, n, 2, fn))
+        assert dist[root] == 0.0
+
+    def test_rank_invariance(self, small_web):
+        n, edges = small_web
+        root = int(edges[0, 0])
+
+        def fn(comm, g):
+            return g.unmap[: g.n_loc], sssp(comm, g, root).distances
+
+        d1 = gather_by_gid(dist_run(edges, n, 1, fn))
+        d4 = gather_by_gid(dist_run(edges, n, 4, fn, "rand"))
+        assert np.allclose(d1, d4, equal_nan=True)
+
+    def test_negative_weights_rejected(self, small_web):
+        n, edges = small_web
+
+        def fn(comm, g):
+            sssp(comm, g, 0, weights=np.full(g.m_in, -1.0))
+
+        with pytest.raises(SpmdError):
+            dist_run(edges, n, 1, fn)
+
+
+# ---------------------------------------------------------------------------
+# Exact k-core
+# ---------------------------------------------------------------------------
+class TestExactKCore:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_networkx(self, p):
+        # Simple graph without reciprocal or duplicate edges, no loops.
+        rng = np.random.default_rng(17)
+        n = 150
+        raw = rng.integers(0, n, size=(900, 2), dtype=np.int64)
+        raw = raw[raw[:, 0] < raw[:, 1]]  # i<j: no loops, no reciprocals
+        edges = np.unique(raw, axis=0)
+
+        def fn(comm, g):
+            return g.unmap[: g.n_loc], exact_kcore(comm, g).coreness
+
+        got = gather_by_gid(dist_run(edges, n, p, fn))
+        assert (got == coreness_ref(n, edges)).all()
+
+    def test_clique_coreness(self):
+        k = 10
+        edges = np.array([(i, j) for i in range(k) for j in range(i + 1, k)],
+                         dtype=np.int64)
+
+        def fn(comm, g):
+            res = exact_kcore(comm, g)
+            return g.unmap[: g.n_loc], res.coreness, res.max_core
+
+        outs = dist_run(edges, k, 2, fn)
+        got = gather_by_gid(outs)
+        assert (got == k - 1).all()
+        assert outs[0][2] == k - 1
+
+    def test_refines_approximate_bounds(self, small_web):
+        """Exact coreness must satisfy the geometric sweep's upper bounds."""
+        from repro.analytics import approx_kcore
+
+        n, edges = small_web
+
+        def fn(comm, g):
+            exact = exact_kcore(comm, g).coreness
+            approx = approx_kcore(comm, g, lcc_restrict=False,
+                                  max_stage=20).stage_removed
+            ub = (1 << approx.astype(np.int64)) - 1
+            assert (exact <= ub).all()
+            return True
+
+        assert all(dist_run(edges, n, 2, fn))
+
+
+# ---------------------------------------------------------------------------
+# Degree analysis
+# ---------------------------------------------------------------------------
+class TestDegrees:
+    @pytest.mark.parametrize("direction", ["out", "in", "total"])
+    def test_distribution_matches_bincount(self, small_web, direction):
+        n, edges = small_web
+
+        def fn(comm, g):
+            return degree_distribution(comm, g, direction)
+
+        values, counts = dist_run(edges, n, 3, fn)[0]
+        if direction == "out":
+            deg = np.bincount(edges[:, 0], minlength=n)
+        elif direction == "in":
+            deg = np.bincount(edges[:, 1], minlength=n)
+        else:
+            deg = np.bincount(edges.reshape(-1), minlength=n)
+        ev, ec = np.unique(deg, return_counts=True)
+        assert (values == ev).all()
+        assert (counts == ec).all()
+
+    def test_stats(self, small_web):
+        n, edges = small_web
+
+        def fn(comm, g):
+            return degree_stats(comm, g, "total")
+
+        st = dist_run(edges, n, 2, fn)[0]
+        deg = np.bincount(edges.reshape(-1), minlength=n)
+        assert st.mean == pytest.approx(deg.mean())
+        assert st.max == deg.max()
+        assert st.zero_fraction == pytest.approx((deg == 0).mean())
+        assert st.skew() > 1.0
+
+    def test_invalid_direction(self, small_web):
+        n, edges = small_web
+        with pytest.raises(SpmdError):
+            dist_run(edges, n, 1,
+                     lambda c, g: degree_distribution(c, g, "up"))
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    @pytest.mark.parametrize("p", [1, 3])
+    @pytest.mark.parametrize("kind", PARTITION_KINDS)
+    def test_roundtrip(self, small_web, tmp_path, p, kind):
+        n, edges = small_web
+        ckpt = tmp_path / f"ckpt-{kind}-{p}"
+
+        def save_job(comm):
+            chunk = np.array_split(edges, comm.size)[comm.rank]
+            part = make_partition(kind, comm, n, chunk)
+            g = build_dist_graph(comm, chunk, part)
+            save_graph(comm, g, ckpt)
+            return g.m_out, g.n_gst
+
+        saved = run_spmd(p, save_job)
+
+        def load_job(comm):
+            chunk = np.array_split(edges, comm.size)[comm.rank]
+            part = make_partition(kind, comm, n, chunk)
+            g = load_graph(comm, ckpt, part)
+            from repro.analytics import pagerank
+
+            return g.m_out, g.n_gst, float(
+                pagerank(comm, g, max_iters=5).scores.sum())
+
+        loaded = run_spmd(p, load_job)
+        for (m1, g1), (m2, g2, _) in zip(saved, loaded):
+            assert (m1, g1) == (m2, g2)
+        assert sum(o[2] for o in loaded) == pytest.approx(1.0, abs=1e-9)
+
+    def test_missing_member_detected(self, small_web, tmp_path):
+        n, edges = small_web
+        ckpt = tmp_path / "ckpt"
+
+        def save_job(comm):
+            from repro.partition import VertexBlockPartition
+
+            part = VertexBlockPartition(n, comm.size)
+            chunk = np.array_split(edges, comm.size)[comm.rank]
+            save_graph(comm, build_dist_graph(comm, chunk, part), ckpt)
+
+        run_spmd(2, save_job)
+
+        def load_wrong_size(comm):
+            from repro.partition import VertexBlockPartition
+
+            load_graph(comm, ckpt, VertexBlockPartition(n, comm.size))
+
+        with pytest.raises(SpmdError):
+            run_spmd(3, load_wrong_size)  # 3 ranks, 2 members
+
+    def test_wrong_world_size_in_member(self, small_web, tmp_path):
+        n, edges = small_web
+        ckpt = tmp_path / "ckpt"
+
+        def save_job(comm):
+            from repro.partition import VertexBlockPartition
+
+            part = VertexBlockPartition(n, comm.size)
+            chunk = np.array_split(edges, comm.size)[comm.rank]
+            save_graph(comm, build_dist_graph(comm, chunk, part), ckpt)
+
+        run_spmd(2, save_job)
+        # Rename member so a 1-rank world finds rank00000 written by size-2.
+        def load_job(comm):
+            from repro.partition import VertexBlockPartition
+
+            load_graph(comm, ckpt, VertexBlockPartition(n, 1))
+
+        with pytest.raises(SpmdError):
+            run_spmd(1, load_job)

@@ -1,0 +1,154 @@
+"""Graph generators: determinism, ranges, degree structure, presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    DATASETS,
+    dataset_names,
+    erdos_renyi_edges,
+    load_dataset,
+    rmat_edges,
+    webcrawl,
+    webcrawl_edges,
+)
+
+
+class TestRMAT:
+    def test_shape_and_range(self):
+        e = rmat_edges(scale=10, edge_factor=8, seed=1)
+        assert e.shape == (8 * 1024, 2)
+        assert e.min() >= 0 and e.max() < 1024
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=8, seed=5)
+        b = rmat_edges(scale=8, seed=5)
+        assert (a == b).all()
+        c = rmat_edges(scale=8, seed=6)
+        assert (a != c).any()
+
+    def test_explicit_m(self):
+        e = rmat_edges(scale=6, m=100, seed=1)
+        assert len(e) == 100
+
+    def test_degree_skew(self):
+        """R-MAT must be far more skewed than Erdős–Rényi."""
+        n = 1 << 12
+        rm = rmat_edges(scale=12, edge_factor=16, seed=1)
+        er = erdos_renyi_edges(n, 16 * n, seed=1)
+        d_rm = np.bincount(rm[:, 0], minlength=n)
+        d_er = np.bincount(er[:, 0], minlength=n)
+        assert d_rm.max() > 4 * d_er.max()
+
+    def test_scale_zero(self):
+        e = rmat_edges(scale=0, m=5, seed=1)
+        assert (e == 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=-1)
+        with pytest.raises(ValueError):
+            rmat_edges(scale=5, a=0.9, b=0.2, c=0.2)
+        with pytest.raises(ValueError):
+            rmat_edges(scale=5, m=-1)
+
+
+class TestErdosRenyi:
+    def test_shape_and_range(self):
+        e = erdos_renyi_edges(100, 500, seed=2)
+        assert e.shape == (500, 2)
+        assert e.min() >= 0 and e.max() < 100
+
+    def test_deterministic(self):
+        assert (erdos_renyi_edges(50, 100, 3) == erdos_renyi_edges(50, 100, 3)).all()
+
+    def test_roughly_uniform(self):
+        e = erdos_renyi_edges(10, 100_000, seed=1)
+        counts = np.bincount(e[:, 0], minlength=10)
+        assert counts.max() / counts.min() < 1.2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_edges(0, 5)
+        with pytest.raises(ValueError):
+            erdos_renyi_edges(5, -1)
+
+
+class TestWebCrawl:
+    def test_structure(self):
+        wc = webcrawl(5000, avg_degree=12, seed=3)
+        assert wc.n == 5000
+        assert abs(wc.m / wc.n - 12) < 0.5
+        assert wc.edges.min() >= 0 and wc.edges.max() < 5000
+        assert len(wc.community) == 5000
+        assert wc.community_sizes.sum() == 5000
+        assert wc.n_communities > 10
+
+    def test_deterministic(self):
+        a = webcrawl_edges(1000, seed=9)
+        b = webcrawl_edges(1000, seed=9)
+        assert (a == b).all()
+
+    def test_communities_consecutive_ids(self):
+        wc = webcrawl(2000, seed=1)
+        # Community ids must be non-decreasing over vertex ids.
+        assert (np.diff(wc.community) >= 0).all()
+
+    def test_intra_community_locality(self):
+        """High p_intra must yield a mostly-internal edge set."""
+        wc = webcrawl(3000, avg_degree=8, p_intra=0.9, seed=2)
+        src_c = wc.community[wc.edges[:, 0]]
+        dst_c = wc.community[wc.edges[:, 1]]
+        assert (src_c == dst_c).mean() > 0.6
+
+    def test_low_p_intra_breaks_locality(self):
+        hi = webcrawl(2000, avg_degree=8, p_intra=0.95, seed=2)
+        lo = webcrawl(2000, avg_degree=8, p_intra=0.05, seed=2)
+
+        def internal_frac(wc):
+            return (wc.community[wc.edges[:, 0]] ==
+                    wc.community[wc.edges[:, 1]]).mean()
+
+        assert internal_frac(hi) > internal_frac(lo) + 0.3
+
+    def test_heavy_tail(self):
+        wc = webcrawl(20_000, avg_degree=10, seed=4)
+        deg = np.bincount(wc.edges[:, 1], minlength=wc.n)
+        assert deg.max() > 20 * deg.mean()
+
+    def test_zero_fraction_produces_isolated(self):
+        wc = webcrawl(5000, avg_degree=6, zero_fraction=0.1, seed=5)
+        deg = np.bincount(wc.edges.reshape(-1), minlength=wc.n)
+        assert (deg == 0).sum() > 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            webcrawl(0)
+        with pytest.raises(ValueError):
+            webcrawl(10, p_intra=1.5)
+
+
+class TestDatasets:
+    def test_all_presets_load(self):
+        for name in dataset_names():
+            e = load_dataset(name, scale=0.02, seed=1)
+            assert e.ndim == 2 and e.shape[1] == 2
+            assert len(e) > 0
+
+    def test_average_degree_matches_spec(self):
+        for name in ("web-crawl", "pay", "rand-er"):
+            spec = DATASETS[name]
+            e = spec.generate(scale=0.5, seed=1)
+            n = spec.n_for(0.5)
+            assert abs(len(e) / n - spec.avg_degree) / spec.avg_degree < 0.15
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("no-such-graph")
+
+    def test_scaling(self):
+        small = load_dataset("google", scale=0.1, seed=1)
+        big = load_dataset("google", scale=0.5, seed=1)
+        assert len(big) > 2 * len(small)

@@ -1,0 +1,130 @@
+"""HITS and closeness centrality vs. NetworkX oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid
+from repro.analytics import closeness_centrality, hits
+from repro.baselines import digraph_from_edges
+from repro.runtime import SpmdError
+
+
+@pytest.fixture(scope="module")
+def web(small_web):
+    n, edges = small_web
+    G = digraph_from_edges(n, edges)
+    return n, edges, G
+
+
+class TestHITS:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("kind", PARTITION_KINDS)
+    def test_matches_networkx(self, web, p, kind):
+        n, edges, G = web
+        h_ref, a_ref = nx.hits(G, max_iter=1000, tol=1e-12)
+
+        def fn(comm, g):
+            r = hits(comm, g, max_iters=500, tol=1e-12)
+            return g.unmap[: g.n_loc], r.hubs, r.authorities
+
+        outs = dist_run(edges, n, p, fn, kind)
+        hubs = gather_by_gid(outs, 1)
+        auth = gather_by_gid(outs, 2)
+        h_vec = np.array([h_ref[i] for i in range(n)])
+        a_vec = np.array([a_ref[i] for i in range(n)])
+        assert np.abs(hubs - h_vec).max() < 1e-6
+        assert np.abs(auth - a_vec).max() < 1e-6
+
+    def test_scores_normalized(self, web):
+        n, edges, _ = web
+
+        def fn(comm, g):
+            r = hits(comm, g, max_iters=50)
+            return float(r.hubs.sum()), float(r.authorities.sum())
+
+        outs = dist_run(edges, n, 3, fn)
+        assert sum(o[0] for o in outs) == pytest.approx(1.0)
+        assert sum(o[1] for o in outs) == pytest.approx(1.0)
+
+    def test_hub_authority_star(self):
+        """0 -> {1..5}: vertex 0 is the only hub, leaves pure authorities."""
+        edges = np.array([[0, i] for i in range(1, 6)], dtype=np.int64)
+
+        def fn(comm, g):
+            r = hits(comm, g, max_iters=50, tol=1e-12)
+            return g.unmap[: g.n_loc], r.hubs, r.authorities
+
+        outs = dist_run(edges, 6, 2, fn)
+        hubs = gather_by_gid(outs, 1)
+        auth = gather_by_gid(outs, 2)
+        assert hubs[0] == pytest.approx(1.0)
+        assert auth[0] == pytest.approx(0.0)
+        assert np.allclose(auth[1:], 0.2)
+
+    def test_empty_graph(self):
+        def fn(comm, g):
+            r = hits(comm, g, max_iters=5)
+            return r.hubs, r.authorities
+
+        outs = dist_run(np.empty((0, 2), dtype=np.int64), 4, 2, fn)
+        # No edges: all scores collapse to zero vectors.
+        assert all((o[1] == 0).all() for o in outs)
+
+    def test_tol_stops_early(self, web):
+        n, edges, _ = web
+
+        def fn(comm, g):
+            return hits(comm, g, max_iters=500, tol=1e-6).n_iters
+
+        assert dist_run(edges, n, 2, fn)[0] < 500
+
+    def test_invalid_iters(self, web):
+        n, edges, _ = web
+        with pytest.raises(SpmdError):
+            dist_run(edges, n, 1, lambda c, g: hits(c, g, max_iters=0))
+
+
+class TestCloseness:
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_matches_networkx(self, web, p):
+        n, edges, G = web
+        ref = nx.closeness_centrality(G)
+        targets = np.unique(edges[:5].reshape(-1))[:4]
+
+        def fn(comm, g):
+            return [closeness_centrality(comm, g, int(v)).score
+                    for v in targets]
+
+        scores = dist_run(edges, n, p, fn)[0]
+        for v, s in zip(targets, scores):
+            assert s == pytest.approx(ref[int(v)], abs=1e-12)
+
+    def test_isolated_vertex_scores_zero(self, web):
+        n, edges, _ = web
+        deg = np.bincount(edges.reshape(-1), minlength=n)
+        isolated = int(np.flatnonzero(deg == 0)[0])
+
+        def fn(comm, g):
+            r = closeness_centrality(comm, g, isolated)
+            return r.score, r.n_reaching
+
+        score, reach = dist_run(edges, n, 2, fn)[0]
+        assert score == 0.0 and reach == 0
+
+    def test_chain(self):
+        """0 -> 1 -> 2: both others reach 2, distances 2+1, scale 2/2 = 1."""
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+
+        def fn(comm, g):
+            return closeness_centrality(comm, g, 2).score
+
+        assert dist_run(edges, 3, 2, fn)[0] == pytest.approx(2 / 3)
+
+    def test_out_of_range(self, web):
+        n, edges, _ = web
+        with pytest.raises(SpmdError):
+            dist_run(edges, n, 1,
+                     lambda c, g: closeness_centrality(c, g, n + 7))

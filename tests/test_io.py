@@ -1,0 +1,145 @@
+"""Binary edge-list I/O, striped parallel reads, text conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    count_edges,
+    edge_share,
+    read_edge_range,
+    read_edges,
+    read_text_edges,
+    striped_read,
+    text_to_binary,
+    write_edges,
+    write_text_edges,
+)
+from repro.runtime import run_spmd
+
+
+@pytest.fixture
+def edges():
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 1000, size=(357, 2), dtype=np.int64)
+
+
+@pytest.mark.parametrize("width", [32, 64])
+def test_roundtrip(tmp_path, edges, width):
+    path = tmp_path / "e.bin"
+    nbytes = write_edges(path, edges, width=width)
+    assert nbytes == 357 * 2 * (width // 8)
+    assert count_edges(path, width) == 357
+    back = read_edges(path, width)
+    assert (back == edges).all()
+    assert back.dtype == np.int64
+
+
+def test_read_edge_range(tmp_path, edges):
+    path = tmp_path / "e.bin"
+    write_edges(path, edges)
+    assert (read_edge_range(path, 0, 357) == edges).all()
+    assert (read_edge_range(path, 100, 50) == edges[100:150]).all()
+    assert read_edge_range(path, 357, 0).shape == (0, 2)
+
+
+def test_read_edge_range_out_of_bounds(tmp_path, edges):
+    path = tmp_path / "e.bin"
+    write_edges(path, edges)
+    with pytest.raises(ValueError):
+        read_edge_range(path, 300, 100)
+    with pytest.raises(ValueError):
+        read_edge_range(path, -1, 5)
+
+
+def test_width_validation(tmp_path, edges):
+    with pytest.raises(ValueError):
+        write_edges(tmp_path / "x.bin", edges, width=16)
+
+
+def test_id_overflow_rejected(tmp_path):
+    big = np.array([[0, 2**33]], dtype=np.int64)
+    with pytest.raises(ValueError):
+        write_edges(tmp_path / "x.bin", big, width=32)
+    write_edges(tmp_path / "x.bin", big, width=64)  # fits in 64-bit
+
+
+def test_negative_ids_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_edges(tmp_path / "x.bin", np.array([[0, -1]]))
+
+
+def test_bad_shape_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_edges(tmp_path / "x.bin", np.arange(6))
+
+
+def test_misaligned_file_detected(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"\x00" * 13)  # not a multiple of 8
+    with pytest.raises(ValueError):
+        count_edges(path, 32)
+
+
+def test_edge_share_covers_everything():
+    for m in (0, 1, 7, 100, 101):
+        for p in (1, 2, 3, 8):
+            spans = [edge_share(m, p, r) for r in range(p)]
+            assert sum(c for _, c in spans) == m
+            pos = 0
+            for start, count in spans:
+                assert start == pos
+                pos += count
+            counts = [c for _, c in spans]
+            assert max(counts) - min(counts) <= 1
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 5])
+def test_striped_read_reassembles_file(tmp_path, edges, p):
+    path = tmp_path / "e.bin"
+    write_edges(path, edges)
+
+    def job(comm):
+        chunk, info = striped_read(comm, path)
+        assert info.count == len(chunk)
+        assert info.nbytes == len(chunk) * 8
+        return chunk
+
+    outs = run_spmd(p, job)
+    assert (np.concatenate(outs) == edges).all()
+
+
+def test_text_roundtrip(tmp_path, edges):
+    path = tmp_path / "e.txt"
+    write_text_edges(path, edges, header="test graph\nsecond line")
+    back = read_text_edges(path)
+    assert (back == edges).all()
+
+
+def test_text_to_binary(tmp_path, edges):
+    tpath, bpath = tmp_path / "e.txt", tmp_path / "e.bin"
+    write_text_edges(tpath, edges)
+    m = text_to_binary(tpath, bpath)
+    assert m == len(edges)
+    assert (read_edges(bpath) == edges).all()
+
+
+def test_text_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "e.txt"
+    path.write_text("# header\n\n1 2\n3\t4 999\n# trailing\n")
+    back = read_text_edges(path)
+    assert back.tolist() == [[1, 2], [3, 4]]
+
+
+def test_text_malformed_line_raises(tmp_path):
+    path = tmp_path / "e.txt"
+    path.write_text("1\n")
+    with pytest.raises(ValueError):
+        read_text_edges(path)
+
+
+def test_empty_text_file(tmp_path):
+    path = tmp_path / "e.txt"
+    path.write_text("# nothing\n")
+    assert read_text_edges(path).shape == (0, 2)

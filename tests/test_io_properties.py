@@ -1,0 +1,89 @@
+"""Property-based I/O tests (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    count_edges,
+    edge_share,
+    read_edge_range,
+    read_edges,
+    read_text_edges,
+    write_edges,
+    write_text_edges,
+)
+
+common = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@common
+@given(
+    m=st.integers(min_value=0, max_value=300),
+    seed=st.integers(min_value=0, max_value=10_000),
+    width=st.sampled_from([32, 64]),
+)
+def test_binary_roundtrip(tmp_path, m, seed, width):
+    rng = np.random.default_rng(seed)
+    hi = 2**31 if width == 32 else 2**60
+    edges = rng.integers(0, hi, size=(m, 2)).astype(np.int64)
+    path = tmp_path / f"e-{seed}-{m}-{width}.bin"
+    write_edges(path, edges, width=width)
+    assert count_edges(path, width) == m
+    assert (read_edges(path, width) == edges).all()
+
+
+@common
+@given(
+    m=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_range_reads_compose(tmp_path, m, seed, data):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, 1000, size=(m, 2)).astype(np.int64)
+    path = tmp_path / f"r-{seed}-{m}.bin"
+    write_edges(path, edges)
+    start = data.draw(st.integers(min_value=0, max_value=m))
+    count = data.draw(st.integers(min_value=0, max_value=m - start))
+    assert (read_edge_range(path, start, count)
+            == edges[start : start + count]).all()
+
+
+@common
+@given(
+    m=st.integers(min_value=0, max_value=10_000),
+    p=st.integers(min_value=1, max_value=40),
+)
+def test_edge_share_partitions_range(m, p):
+    spans = [edge_share(m, p, r) for r in range(p)]
+    assert sum(c for _, c in spans) == m
+    pos = 0
+    for s, c in spans:
+        assert s == pos and c >= 0
+        pos += c
+    counts = [c for _, c in spans]
+    assert max(counts) - min(counts) <= 1
+
+
+@common
+@given(
+    m=st.integers(min_value=0, max_value=100),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_text_roundtrip(tmp_path, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, 10**9, size=(m, 2)).astype(np.int64)
+    path = tmp_path / f"t-{seed}-{m}.txt"
+    write_text_edges(path, edges, header="prop test")
+    back = read_text_edges(path)
+    assert back.shape == (m, 2)
+    if m:
+        assert (back == edges).all()

@@ -1,0 +1,110 @@
+"""Approximate k-core sweep: bounds, invariance, structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid
+from repro.analytics import approx_kcore
+from repro.baselines import coreness_ref
+
+
+def run_kcore(edges, n, p, kind="vblock", **kw):
+    def fn(comm, g):
+        res = approx_kcore(comm, g, **kw)
+        return g.unmap[: g.n_loc], res.stage_removed, res.stages_run, res.survivors
+
+    outs = dist_run(edges, n, p, fn, kind)
+    return gather_by_gid(outs), outs[0][2], outs[0][3]
+
+
+def clique(k, base=0):
+    return [(base + i, base + j) for i in range(k) for j in range(k) if i != j]
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_upper_bound_property_without_lcc(small_web, p):
+    """Without LCC filtering the bound must dominate exact coreness."""
+    n, edges = small_web
+    stages, _, _ = run_kcore(edges, n, p, lcc_restrict=False, max_stage=20)
+    ub = (1 << stages.astype(np.int64)) - 1
+    exact = coreness_ref(n, edges)
+    assert (ub >= exact).all()
+
+
+def test_bounds_not_absurdly_loose(small_web):
+    """The geometric sweep is within one doubling of exact coreness."""
+    n, edges = small_web
+    stages, _, _ = run_kcore(edges, n, 2, lcc_restrict=False, max_stage=20)
+    ub = (1 << stages.astype(np.int64)) - 1
+    exact = coreness_ref(n, edges)
+    # A vertex with coreness c survives every stage with 2^i <= c, so its
+    # bound is < 4c + 4 (counting multi-edges can only raise it further,
+    # hence the slack for the few duplicated-edge vertices).
+    loose = ub > 4 * exact + 8
+    assert loose.mean() < 0.05
+
+
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_rank_and_partition_invariance(small_web, kind):
+    n, edges = small_web
+    s1, _, _ = run_kcore(edges, n, 1, "vblock")
+    s4, _, _ = run_kcore(edges, n, 4, kind)
+    assert (s1 == s4).all()
+
+
+def test_clique_survives_until_degree_bound():
+    """An 18-clique (degree 17+17=34) survives stages up to 2^5 = 32."""
+    n = 18
+    edges = np.array(clique(n), dtype=np.int64)
+    stages, stages_run, survivors = run_kcore(edges, n, 2, max_stage=10)
+    # alive degree counts both directions: 2*(n-1) = 34 >= 32 = 2^5,
+    # so the clique survives stage 5 and dies at stage 6 (k=64).
+    assert (stages == 6).all()
+    assert survivors == 0
+
+
+def test_star_peels_immediately():
+    k = 20
+    edges = np.array([[0, i] for i in range(1, k)], dtype=np.int64)
+    stages, _, _ = run_kcore(edges, k, 2, max_stage=8)
+    # Leaves have degree 1 < 2: removed at stage 1; then the hub follows.
+    assert (stages[1:] == 1).all()
+    assert stages[0] <= 2
+
+
+def test_lcc_restriction_removes_secondary_components():
+    """Two disjoint cliques: the paper's LCC step drops the smaller one."""
+    edges = np.array(clique(10) + clique(8, base=10), dtype=np.int64)
+    n = 18
+    with_lcc, _, _ = run_kcore(edges, n, 2, max_stage=8, lcc_restrict=True)
+    without, _, _ = run_kcore(edges, n, 2, max_stage=8, lcc_restrict=False)
+    # Without LCC both cliques survive to their degree-determined stages;
+    # with LCC the smaller clique is cut at the first stage's LCC pass.
+    assert (without[10:] > 1).all()
+    assert (with_lcc[10:] == 1).all()
+    assert (with_lcc[:10] == without[:10]).all()
+
+
+def test_empty_graph():
+    stages, stages_run, survivors = run_kcore(
+        np.empty((0, 2), dtype=np.int64), 5, 2, max_stage=5)
+    assert (stages == 1).all()  # all vertices have degree 0 < 2
+    assert survivors == 0
+
+
+def test_survivors_capped_by_max_stage():
+    edges = np.array(clique(12), dtype=np.int64)
+    stages, stages_run, survivors = run_kcore(edges, 12, 2, max_stage=2)
+    # Degree 22 >= 4: the clique survives both stages.
+    assert survivors == 12
+    assert (stages == 3).all()  # max_stage + 1 sentinel
+
+
+def test_invalid_max_stage(small_web):
+    from repro.runtime import SpmdError
+
+    n, edges = small_web
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1, lambda c, g: approx_kcore(c, g, max_stage=0))

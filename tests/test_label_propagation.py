@@ -1,0 +1,133 @@
+"""Label Propagation: determinism, convergence, community recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid
+from repro.analytics import label_propagation
+
+
+def run_lp(edges, n, p, kind="vblock", **kw):
+    def fn(comm, g):
+        res = label_propagation(comm, g, **kw)
+        return g.unmap[: g.n_loc], res.labels, res.n_iters
+
+    outs = dist_run(edges, n, p, fn, kind)
+    return gather_by_gid(outs), outs[0][2]
+
+
+def two_cliques(k=8):
+    """Two disjoint cliques — LP must find exactly two communities."""
+    edges = []
+    for base in (0, k):
+        for i in range(k):
+            for j in range(k):
+                if i != j:
+                    edges.append((base + i, base + j))
+    return 2 * k, np.array(edges, dtype=np.int64)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_two_cliques_found(p):
+    n, edges = two_cliques()
+    labels, _ = run_lp(edges, n, p, n_iters=10, seed=1)
+    assert len(np.unique(labels[: n // 2])) == 1
+    assert len(np.unique(labels[n // 2 :])) == 1
+    assert labels[0] != labels[-1]
+
+
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_rank_and_partition_invariance(small_web, kind):
+    """Seeded runs give identical labels regardless of ranks/partitioning."""
+    n, edges = small_web
+    base, _ = run_lp(edges, n, 1, "vblock", n_iters=5, seed=3)
+    other, _ = run_lp(edges, n, 4, kind, n_iters=5, seed=3)
+    assert (base == other).all()
+
+
+def test_labels_are_vertex_ids(small_web):
+    n, edges = small_web
+    labels, _ = run_lp(edges, n, 2, n_iters=5, seed=0)
+    assert ((labels >= 0) & (labels < n)).all()
+
+
+def test_isolated_vertices_keep_own_label(small_web):
+    n, edges = small_web
+    deg = np.bincount(edges.reshape(-1), minlength=n)
+    labels, _ = run_lp(edges, n, 2, n_iters=5, seed=0)
+    isolated = deg == 0
+    assert (labels[isolated] == np.flatnonzero(isolated)).all()
+
+
+def test_early_stop_on_convergence():
+    n, edges = two_cliques(5)
+    labels, iters = run_lp(edges, n, 2, n_iters=50, seed=1)
+    assert iters < 50  # converges long before the budget
+
+
+def test_zero_iterations_identity(small_web):
+    n, edges = small_web
+    labels, iters = run_lp(edges, n, 2, n_iters=0)
+    assert iters == 0
+    assert (labels == np.arange(n)).all()
+
+
+def test_seed_changes_tie_breaking():
+    """On a tie-heavy graph different seeds may give different labelings."""
+    # A 4-cycle: every vertex sees two distinct neighbor labels -> all ties.
+    edges = np.array([[0, 1], [1, 2], [2, 3], [3, 0]], dtype=np.int64)
+    outcomes = set()
+    for seed in range(8):
+        labels, _ = run_lp(edges, 4, 1, n_iters=1, seed=seed)
+        outcomes.add(tuple(labels.tolist()))
+    assert len(outcomes) > 1
+
+
+def test_star_graph_leaves_agree():
+    """Every leaf adopts the hub's label after one iteration.
+
+    (Synchronous LP famously oscillates on bipartite structures — the hub
+    itself may flip between leaf labels — so only the leaves' agreement is
+    a stable property.)
+    """
+    k = 10
+    edges = np.array([[0, i] for i in range(1, k)], dtype=np.int64)
+    labels, _ = run_lp(edges, k, 2, n_iters=3, seed=0)
+    assert len(np.unique(labels[1:])) == 1
+
+
+def test_directionality_ignored():
+    """Labels flow against edge direction too (the paper ignores it).
+
+    In an out-star 0→{1,2,3} the leaves have *no out-edges*; if direction
+    mattered they could never change label.  With undirected propagation
+    they all adopt the hub's label after one iteration.
+    """
+    edges = np.array([[0, 1], [0, 2], [0, 3]], dtype=np.int64)
+    labels, _ = run_lp(edges, 4, 2, n_iters=1, seed=0)
+    assert (labels[1:] == 0).all()
+
+
+def test_planted_communities_recovered():
+    """The synthetic crawl's planted hosts should dominate LP communities."""
+    from repro.generators import webcrawl
+
+    wc = webcrawl(1500, avg_degree=10, p_intra=0.9, seed=4)
+    labels, _ = run_lp(wc.edges, wc.n, 2, n_iters=10, seed=1)
+    # Agreement metric: fraction of edges whose endpoints agree on
+    # community in both the planted truth and the LP labels.
+    src, dst = wc.edges[:, 0], wc.edges[:, 1]
+    truth_same = wc.community[src] == wc.community[dst]
+    lp_same = labels[src] == labels[dst]
+    agreement = (truth_same == lp_same).mean()
+    assert agreement > 0.7
+
+
+def test_negative_iters_rejected(small_web):
+    from repro.runtime import SpmdError
+
+    n, edges = small_web
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1, lambda c, g: label_propagation(c, g, n_iters=-1))

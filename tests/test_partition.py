@@ -1,0 +1,166 @@
+"""Partitioning strategies: coverage, inverses, balance, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import webcrawl_edges
+from repro.partition import (
+    EdgeBlockPartition,
+    ExplicitPartition,
+    RandomHashPartition,
+    VertexBlockPartition,
+    evaluate_partition,
+)
+
+
+def all_partitions(n, p, degrees=None):
+    degrees = degrees if degrees is not None else np.ones(n, dtype=np.int64)
+    owners = (np.arange(n) * 7) % p
+    return [
+        VertexBlockPartition(n, p),
+        EdgeBlockPartition(degrees, p),
+        RandomHashPartition(n, p, seed=1),
+        ExplicitPartition(owners, p),
+    ]
+
+
+@pytest.mark.parametrize("n,p", [(1, 1), (10, 3), (100, 7), (64, 64), (5, 8)])
+def test_every_vertex_owned_exactly_once(n, p):
+    for part in all_partitions(n, p):
+        gids = np.arange(n, dtype=np.int64)
+        owners = part.owner_of(gids)
+        assert ((0 <= owners) & (owners < p)).all()
+        total = sum(part.n_owned(r) for r in range(p))
+        assert total == n
+        # owned_gids agree with owner_of
+        for r in range(p):
+            og = part.owned_gids(r)
+            assert (part.owner_of(og) == r).all() if len(og) else True
+            assert (np.diff(og) > 0).all() if len(og) > 1 else True
+
+
+@pytest.mark.parametrize("n,p", [(50, 4), (100, 1), (33, 5)])
+def test_local_global_roundtrip(n, p):
+    for part in all_partitions(n, p):
+        for r in range(p):
+            og = part.owned_gids(r)
+            if not len(og):
+                continue
+            lids = part.to_local(r, og)
+            assert lids.tolist() == list(range(len(og)))
+            assert (part.to_global(r, lids) == og).all()
+
+
+def test_vertex_block_remainder_distribution():
+    part = VertexBlockPartition(10, 3)
+    assert [part.n_owned(r) for r in range(3)] == [4, 3, 3]
+    assert part.owner_of(np.array([0, 3, 4, 6, 7, 9])).tolist() == [0, 0, 1, 1, 2, 2]
+
+
+def test_vertex_block_rejects_foreign_ids():
+    part = VertexBlockPartition(10, 2)
+    with pytest.raises(ValueError):
+        part.to_local(0, np.array([9]))
+    with pytest.raises(ValueError):
+        part.owner_of(np.array([10]))
+    with pytest.raises(ValueError):
+        part.to_global(0, np.array([7]))
+
+
+def test_edge_block_balances_edges():
+    # One very heavy vertex plus light ones: edge-block gives the heavy
+    # vertex a range of its own (vertex imbalance, edge balance).
+    degrees = np.ones(100, dtype=np.int64)
+    degrees[0] = 300
+    part = EdgeBlockPartition(degrees, 4)
+    counts = [degrees[part.owned_gids(r)].sum() for r in range(4)]
+    assert max(counts) <= 300  # the hub alone
+    assert part.n_owned(0) < 50  # hub's range is small
+    total = sum(part.n_owned(r) for r in range(4))
+    assert total == 100
+
+
+def test_edge_block_degenerate_degrees():
+    part = EdgeBlockPartition(np.zeros(10, dtype=np.int64), 3)
+    assert sum(part.n_owned(r) for r in range(3)) == 10
+
+
+def test_random_partition_deterministic_and_seed_sensitive():
+    p1 = RandomHashPartition(1000, 8, seed=1)
+    p2 = RandomHashPartition(1000, 8, seed=1)
+    p3 = RandomHashPartition(1000, 8, seed=2)
+    gids = np.arange(1000)
+    assert (p1.owner_of(gids) == p2.owner_of(gids)).all()
+    assert (p1.owner_of(gids) != p3.owner_of(gids)).any()
+
+
+def test_random_partition_roughly_balanced():
+    part = RandomHashPartition(100_000, 16, seed=3)
+    counts = part.owned_counts()
+    assert counts.max() / counts.mean() < 1.1
+
+
+def test_explicit_partition_from_partition():
+    src = RandomHashPartition(500, 4, seed=9)
+    ex = ExplicitPartition.from_partition(src)
+    gids = np.arange(500)
+    assert (ex.owner_of(gids) == src.owner_of(gids)).all()
+
+
+def test_explicit_partition_validation():
+    with pytest.raises(ValueError):
+        ExplicitPartition(np.array([0, 5]), nparts=2)
+    with pytest.raises(ValueError):
+        ExplicitPartition(np.array([[0, 1]]))
+
+
+def test_stats_block_vs_random_on_web():
+    """Block partitioning must beat random on cut fraction for the crawl
+    (the locality argument of §III-B)."""
+    n = 3000
+    edges = webcrawl_edges(n, avg_degree=8, seed=5)
+    block = evaluate_partition(VertexBlockPartition(n, 8), edges)
+    rand = evaluate_partition(RandomHashPartition(n, 8, seed=1), edges)
+    assert block.cut_fraction < rand.cut_fraction
+    # ...while random has the better edge balance.
+    assert rand.edge_imbalance <= block.edge_imbalance + 0.3
+    assert rand.m_total == block.m_total == len(edges)
+
+
+def test_stats_fields_consistent():
+    n = 200
+    edges = webcrawl_edges(n, avg_degree=5, seed=2)
+    st_ = evaluate_partition(VertexBlockPartition(n, 4), edges)
+    assert st_.vertex_counts.sum() == n
+    assert st_.edge_counts.sum() == len(edges)
+    assert 0.0 <= st_.cut_fraction <= 1.0
+    d = st_.as_dict()
+    assert d["nparts"] == 4
+
+
+def test_single_part_has_no_cut():
+    n = 100
+    edges = webcrawl_edges(n, avg_degree=4, seed=1)
+    st_ = evaluate_partition(VertexBlockPartition(n, 1), edges)
+    assert st_.cut_edges == 0
+    assert st_.ghost_counts.tolist() == [0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    p=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_partition_invariants(n, p, seed):
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(0, 20, n).astype(np.int64)
+    for part in all_partitions(n, p, degrees):
+        owners = part.owner_of(np.arange(n))
+        counts = np.bincount(owners, minlength=p)
+        assert counts.sum() == n
+        assert (counts == part.owned_counts()).all()

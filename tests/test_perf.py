@@ -1,0 +1,180 @@
+"""Performance model: cost extraction vs. live-run traces, predictions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import dist_run
+from repro.analytics import HaloExchange, pagerank
+from repro.generators import webcrawl_edges
+from repro.partition import RandomHashPartition, VertexBlockPartition
+from repro.perf import (
+    BLUE_WATERS,
+    COMPTON,
+    Breakdown,
+    bfs_like_costs,
+    measured_breakdown,
+    model_analytic_time,
+    model_construction,
+    pagerank_like_costs,
+    predict_iteration,
+    strong_scaling_model,
+    weak_scaling_model,
+)
+from repro.runtime import run_spmd, spmd_traces
+
+
+@pytest.fixture(scope="module")
+def graph():
+    n = 1200
+    return n, webcrawl_edges(n, avg_degree=8, seed=31)
+
+
+def test_cost_volumes_match_live_halo(graph):
+    """The analytic ghost volumes equal what HaloExchange really ships."""
+    n, edges = graph
+    p = 4
+    part_kind = "vblock"
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        return halo.n_ghosts, halo.n_sent_per_iter, g.m_out + g.m_in
+
+    outs = dist_run(edges, n, p, fn, part_kind)
+    costs = pagerank_like_costs(edges, VertexBlockPartition(n, p))
+    for r, (n_gst, n_sent, m_local) in enumerate(outs):
+        assert costs.ghost_recv[r] == n_gst
+        assert costs.ghost_send[r] == n_sent
+        assert costs.work_edges[r] == m_local
+
+
+def test_cost_volumes_match_random_partition(graph):
+    n, edges = graph
+    p = 3
+
+    def job(comm):
+        from repro.graph import build_dist_graph
+
+        part = RandomHashPartition(n, comm.size, seed=42)
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        g = build_dist_graph(comm, chunk, part)
+        halo = HaloExchange(comm, g)
+        return halo.n_ghosts, halo.n_sent_per_iter
+
+    outs = run_spmd(p, job)
+    costs = pagerank_like_costs(edges, RandomHashPartition(n, p, seed=42))
+    for r, (n_gst, n_sent) in enumerate(outs):
+        assert costs.ghost_recv[r] == n_gst
+        assert costs.ghost_send[r] == n_sent
+
+
+def test_random_partition_has_more_ghost_traffic(graph):
+    n, edges = graph
+    block = pagerank_like_costs(edges, VertexBlockPartition(n, 8))
+    rand = pagerank_like_costs(edges, RandomHashPartition(n, 8, seed=1))
+    assert rand.ghost_recv.sum() > block.ghost_recv.sum()
+
+
+def test_prediction_components_positive(graph):
+    n, edges = graph
+    costs = pagerank_like_costs(edges, VertexBlockPartition(n, 8))
+    pred = predict_iteration(costs, BLUE_WATERS)
+    assert pred.total > 0
+    assert (pred.comp >= 0).all() and (pred.comm >= 0).all()
+    assert (pred.idle >= 0).all()
+    r = pred.ratios()
+    assert 0 <= r["comp"]["min"] <= r["comp"]["avg"] <= r["comp"]["max"]
+
+
+def test_bfs_costs_add_latency_rounds(graph):
+    n, edges = graph
+    part = VertexBlockPartition(n, 8)
+    few = predict_iteration(bfs_like_costs(edges, part, n_levels=2), BLUE_WATERS)
+    many = predict_iteration(bfs_like_costs(edges, part, n_levels=50), BLUE_WATERS)
+    assert many.comm.sum() > few.comm.sum()
+    assert np.allclose(many.comp, few.comp)
+
+
+def test_strong_scaling_speedup_then_flattens(graph):
+    """Modeled strong scaling must speed up initially and degrade in
+    efficiency at high node counts (paper Fig. 2 shape)."""
+    n, edges = graph
+    pts = strong_scaling_model(
+        edges, lambda p: VertexBlockPartition(n, p),
+        [1, 2, 4, 16, 64, 256], BLUE_WATERS, analytic="labelprop")
+    times = [pt.time_s for pt in pts]
+    assert times[1] < times[0]
+    eff_small = pts[0].time_s / (2 * pts[1].time_s)
+    eff_big = pts[0].time_s / (256 * pts[-1].time_s)
+    assert eff_big < eff_small
+
+
+def test_weak_scaling_time_grows_slowly(graph):
+    per_node = 600
+    pts = weak_scaling_model(
+        lambda p: webcrawl_edges(per_node * p, avg_degree=8, seed=7),
+        lambda n, p: VertexBlockPartition(n, p),
+        [1, 2, 4, 8],
+        BLUE_WATERS,
+        analytic="pagerank",
+    )
+    times = [pt.time_s for pt in pts]
+    # Ideal weak scaling is flat; ours must stay within a small factor.
+    assert max(times) / max(min(times), 1e-12) < 5.0
+
+
+def test_construction_model_shapes():
+    small = model_construction(129e9, 64, BLUE_WATERS)
+    large = model_construction(129e9, 1024, BLUE_WATERS)
+    assert large.exchange_s < small.exchange_s
+    assert large.convert_s < small.convert_s
+    assert large.total_s < small.total_s
+    assert small.rate_ge_s(129e9) > 0
+    # Paper end-to-end at 256 nodes is ~20 min including analytics; the
+    # construction alone must be on the order of a minute, not hours.
+    mid = model_construction(129e9, 256, BLUE_WATERS)
+    assert 10 < mid.total_s < 600
+
+
+def test_measured_breakdown_from_traces(graph):
+    n, edges = graph
+
+    def fn(comm, g):
+        pagerank(comm, g, max_iters=5)
+        return True
+
+    dist_run(edges, n, 3, fn)
+    traces = spmd_traces()
+    bd = measured_breakdown(traces)
+    assert bd.nranks == 3
+    assert bd.total > 0
+    r = bd.ratios()
+    assert abs(sum(r[k]["avg"] for k in ("comp", "comm", "idle")) - 1.0) < 0.5
+
+    bd_region = measured_breakdown(traces, region="pagerank")
+    assert bd_region.comm.sum() <= bd.comm.sum() + 1e-9
+
+
+def test_machine_presets_sane():
+    for m in (BLUE_WATERS, COMPTON):
+        assert m.alpha > 0 and m.beta > 0 and m.edge_rate > 0
+        assert m.comm_time(10, 1e6) > 0
+        assert m.read_time(1e9, 4) > 0
+        # More readers must not be slower.
+        assert m.read_time(1e9, 64) <= m.read_time(1e9, 1)
+
+
+def test_2d_cost_model(graph):
+    from repro.perf import grid_shape, pagerank_like_costs_2d
+
+    n, edges = graph
+    assert grid_shape(16) == (4, 4)
+    assert grid_shape(8) == (2, 4)
+    assert grid_shape(1) == (1, 1)
+    costs = pagerank_like_costs_2d(edges, n, 16)
+    # Every edge lands on exactly one grid block (x2 for both directions).
+    assert costs.work_edges.sum() == 2 * len(edges)
+    assert (costs.ghost_recv > 0).all()
+    pred = predict_iteration(costs, BLUE_WATERS)
+    assert pred.total > 0

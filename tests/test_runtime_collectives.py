@@ -1,0 +1,268 @@
+"""Unit tests for the SPMD runtime's collective operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    CommUsageError,
+    run_spmd,
+)
+
+SIZES = [1, 2, 3, 5]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_sum_scalar(p):
+    out = run_spmd(p, lambda c: c.allreduce(c.rank + 1, SUM))
+    assert out == [p * (p + 1) // 2] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_array_ops(p):
+    def job(c):
+        a = np.array([c.rank, -c.rank, 1], dtype=np.int64)
+        return (
+            c.allreduce(a, SUM).tolist(),
+            c.allreduce(a, MAX).tolist(),
+            c.allreduce(a, MIN).tolist(),
+        )
+
+    for s, mx, mn in run_spmd(p, job):
+        tot = p * (p - 1) // 2
+        assert s == [tot, -tot, p]
+        assert mx == [p - 1, 0, 1]
+        assert mn == [0, -(p - 1), 1]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_prod(p):
+    out = run_spmd(p, lambda c: c.allreduce(2, PROD))
+    assert out == [2**p] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_maxloc_minloc(p):
+    def job(c):
+        return (
+            c.allreduce((c.rank % 2, c.rank), MAXLOC),
+            c.allreduce((c.rank % 2, c.rank), MINLOC),
+        )
+
+    for mx, mn in run_spmd(p, job):
+        assert mx == ((1, 1) if p > 1 else (0, 0))
+        assert mn == (0, 0)
+
+
+def test_maxloc_tie_prefers_lower_index():
+    out = run_spmd(4, lambda c: c.allreduce((7, c.rank), MAXLOC))
+    assert out[0] == (7, 0)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast(p):
+    def job(c):
+        payload = {"x": 42} if c.rank == p - 1 else None
+        return c.bcast(payload, root=p - 1)
+
+    assert run_spmd(p, job) == [{"x": 42}] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_gather_and_allgather(p):
+    def job(c):
+        g = c.gather(c.rank * 10, root=0)
+        ag = c.allgather(c.rank * 10)
+        return g, ag
+
+    outs = run_spmd(p, job)
+    expect = [r * 10 for r in range(p)]
+    assert outs[0][0] == expect
+    for r in range(1, p):
+        assert outs[r][0] is None
+    assert all(o[1] == expect for o in outs)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter(p):
+    def job(c):
+        data = [f"item{i}" for i in range(p)] if c.rank == 0 else None
+        return c.scatter(data, root=0)
+
+    assert run_spmd(p, job) == [f"item{i}" for i in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoall(p):
+    def job(c):
+        return c.alltoall([(c.rank, d) for d in range(p)])
+
+    outs = run_spmd(p, job)
+    for r, got in enumerate(outs):
+        assert got == [(s, r) for s in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scan_exscan(p):
+    def job(c):
+        return c.scan(c.rank + 1, SUM), c.exscan(c.rank + 1, SUM)
+
+    outs = run_spmd(p, job)
+    for r, (inc, exc) in enumerate(outs):
+        assert inc == (r + 1) * (r + 2) // 2
+        assert exc == r * (r + 1) // 2
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoallv_contents(p):
+    def job(c):
+        send = [
+            np.full(c.rank + 2 * d, 100 * c.rank + d, dtype=np.int64)
+            for d in range(p)
+        ]
+        data, counts = c.alltoallv(send)
+        return data, counts
+
+    outs = run_spmd(p, job)
+    for r, (data, counts) in enumerate(outs):
+        expect_counts = [s + 2 * r for s in range(p)]
+        assert counts.tolist() == expect_counts
+        pos = 0
+        for s in range(p):
+            seg = data[pos : pos + expect_counts[s]]
+            assert (seg == 100 * s + r).all()
+            pos += expect_counts[s]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoallv_empty_buffers(p):
+    def job(c):
+        send = [np.empty(0, dtype=np.float64) for _ in range(p)]
+        data, counts = c.alltoallv(send)
+        return len(data), counts.sum(), data.dtype
+
+    for n, tot, dt in run_spmd(p, job):
+        assert n == 0 and tot == 0 and dt == np.float64
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allgatherv(p):
+    def job(c):
+        data, counts = c.allgatherv(np.arange(c.rank, dtype=np.int64))
+        return data, counts
+
+    outs = run_spmd(p, job)
+    expect = np.concatenate([np.arange(r) for r in range(p)]) if p > 1 else \
+        np.empty(0)
+    for data, counts in outs:
+        assert counts.tolist() == list(range(p))
+        assert data.tolist() == list(expect)
+
+
+def test_alltoallv_wrong_length_raises():
+    from repro.runtime import SpmdError
+
+    def job(c):
+        c.alltoallv([np.zeros(1)])  # only 1 buffer for 2 ranks
+
+    with pytest.raises(SpmdError):
+        run_spmd(2, job)
+
+
+def test_alltoallv_dtype_mismatch_raises():
+    from repro.runtime import SpmdError
+
+    def job(c):
+        c.alltoallv([np.zeros(1, np.int64), np.zeros(1, np.float64)])
+
+    with pytest.raises(SpmdError):
+        run_spmd(2, job)
+
+
+def test_bad_root_raises():
+    from repro.runtime import SpmdError
+
+    with pytest.raises(SpmdError):
+        run_spmd(2, lambda c: c.bcast(1, root=5))
+
+
+def test_point_to_point_roundtrip():
+    def job(c):
+        if c.rank == 0:
+            c.send({"msg": "hello"}, dest=1, tag=7)
+            return c.recv(source=1, tag=8)
+        c.send("reply", dest=0, tag=8)
+        return c.recv(source=0, tag=7)
+
+    out = run_spmd(2, job)
+    assert out == ["reply", {"msg": "hello"}]
+
+
+def test_barrier_is_synchronizing():
+    """All ranks observe writes published before the barrier."""
+    shared = {}
+
+    def job(c):
+        shared[c.rank] = c.rank
+        c.barrier()
+        return sorted(shared)
+
+    outs = run_spmd(4, job)
+    assert all(o == [0, 1, 2, 3] for o in outs)
+
+
+def test_collectives_return_independent_arrays():
+    """Reduced arrays must not alias another rank's buffer."""
+
+    def job(c):
+        a = np.array([1.0, 2.0])
+        out = c.allreduce(a, SUM)
+        out += 100.0  # must not corrupt peers' results
+        c.barrier()
+        return c.allreduce(np.array([1.0, 1.0]), SUM).tolist()
+
+    outs = run_spmd(3, job)
+    assert all(o == [3.0, 3.0] for o in outs)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_gatherv(p):
+    def job(c):
+        return c.gatherv(np.full(c.rank + 1, c.rank, dtype=np.int64), root=0)
+
+    outs = run_spmd(p, job)
+    data, counts = outs[0]
+    assert counts.tolist() == [r + 1 for r in range(p)]
+    expect = np.concatenate([np.full(r + 1, r) for r in range(p)])
+    assert data.tolist() == expect.tolist()
+    for r in range(1, p):
+        assert outs[r] is None
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_scatter(p):
+    def job(c):
+        contrib = np.arange(3 * p, dtype=np.int64) + c.rank
+        return c.reduce_scatter(contrib, SUM)
+
+    outs = run_spmd(p, job)
+    base = np.arange(3 * p, dtype=np.int64) * p + p * (p - 1) // 2
+    for r, block in enumerate(outs):
+        assert block.tolist() == base[3 * r : 3 * (r + 1)].tolist()
+
+
+def test_reduce_scatter_bad_length():
+    from repro.runtime import SpmdError
+
+    def job(c):
+        c.reduce_scatter(np.arange(3), SUM)  # 3 not divisible by 2
+
+    with pytest.raises(SpmdError):
+        run_spmd(2, job)

@@ -1,0 +1,92 @@
+"""Trace accounting: bytes, message counts, regions, component timers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.runtime import SUM, run_spmd, spmd_traces
+
+
+def test_alltoallv_byte_accounting():
+    def job(c):
+        send = [np.zeros(10, dtype=np.int64) for _ in range(c.size)]
+        c.alltoallv(send)
+
+    run_spmd(3, job)
+    for t in spmd_traces():
+        ev = [e for e in t.events if e.op == "alltoallv"][0]
+        # 10 int64 values to each of the 2 peers (self-delivery is free).
+        assert ev.bytes_sent == 2 * 10 * 8
+        assert ev.bytes_recv == 2 * 10 * 8
+        assert ev.msg_count == 2
+
+
+def test_alltoallv_message_count_skips_empty():
+    def job(c):
+        send = [np.zeros(5 if d == 0 else 0, dtype=np.int64)
+                for d in range(c.size)]
+        c.alltoallv(send)
+
+    run_spmd(3, job)
+    t1 = spmd_traces()[1]
+    ev = t1.events[0]
+    assert ev.msg_count == 1  # only the buffer to rank 0 is non-empty
+
+
+def test_region_tagging():
+    def job(c):
+        with c.region("phase-a"):
+            c.barrier()
+            with c.region("phase-b"):
+                c.allreduce(1, SUM)
+            c.barrier()
+        c.barrier()
+
+    run_spmd(2, job)
+    t = spmd_traces()[0]
+    regions = [e.region for e in t.events]
+    assert regions == ["phase-a", "phase-b", "phase-a", None]
+    assert len(t.events_in("phase-a")) == 2
+
+
+def test_compute_time_accumulates_between_collectives():
+    def job(c):
+        c.barrier()
+        time.sleep(0.05)
+        c.barrier()
+
+    run_spmd(2, job)
+    for t in spmd_traces():
+        assert t.compute_s >= 0.04
+
+
+def test_idle_time_reflects_stragglers():
+    def job(c):
+        c.barrier()  # align the start
+        if c.rank == 1:
+            time.sleep(0.08)
+        c.barrier()
+
+    run_spmd(2, job)
+    traces = spmd_traces()
+    # Rank 0 waited for rank 1 at the second barrier.
+    assert traces[0].events[1].wait_s >= 0.05
+    assert traces[1].events[1].wait_s < 0.05
+
+
+def test_summary_fields():
+    run_spmd(2, lambda c: c.allreduce(np.arange(4), SUM))
+    s = spmd_traces()[0].summary()
+    for key in ("compute_s", "idle_s", "comm_s", "bytes_sent", "msg_count"):
+        assert key in s
+    assert s["n_collectives"] == 1
+
+
+def test_trace_reset():
+    run_spmd(1, lambda c: c.barrier())
+    t = spmd_traces()[0]
+    assert len(t.events) == 1
+    t.reset()
+    assert len(t.events) == 0 and t.compute_s == 0.0

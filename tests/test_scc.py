@@ -1,0 +1,110 @@
+"""SCC extraction (FW–BW) vs. the NetworkX oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid
+from repro.analytics import largest_scc, scc
+from repro.baselines import digraph_from_edges, largest_scc_ref
+
+
+def run_largest(edges, n, p, kind="vblock"):
+    def fn(comm, g):
+        res = largest_scc(comm, g)
+        return g.unmap[: g.n_loc], res.in_scc, res.size, res.pivot, res.n_trimmed
+
+    outs = dist_run(edges, n, p, fn, kind)
+    mask = gather_by_gid(outs)
+    return mask.astype(bool), outs[0][2], outs[0][3], outs[0][4]
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_matches_networkx(small_web, p, kind):
+    n, edges = small_web
+    mask, size, pivot, _ = run_largest(edges, n, p, kind)
+    ref = largest_scc_ref(n, edges)
+    assert (mask == ref).all()
+    assert size == int(ref.sum())
+    assert mask[pivot]
+
+
+def test_trimming_counts(small_web):
+    n, edges = small_web
+    _, size, _, n_trimmed = run_largest(edges, n, 3)
+    assert 0 < size <= n
+    assert 0 <= n_trimmed <= n - size
+
+
+def test_acyclic_graph_has_singleton_sccs():
+    # A DAG: the "largest" SCC degenerates to a single vertex.
+    edges = np.array([[0, 1], [1, 2], [0, 2], [2, 3]], dtype=np.int64)
+    mask, size, _, n_trimmed = run_largest(edges, 4, 2)
+    assert size <= 1
+    assert n_trimmed >= 3
+
+
+def test_single_cycle():
+    k = 7
+    edges = np.array([[i, (i + 1) % k] for i in range(k)], dtype=np.int64)
+    mask, size, _, _ = run_largest(edges, k, 2)
+    assert size == k
+    assert mask.all()
+
+
+def test_two_cycles_largest_wins():
+    # A 5-cycle and a 3-cycle, disconnected.
+    edges = [[i, (i + 1) % 5] for i in range(5)]
+    edges += [[5 + i, 5 + ((i + 1) % 3)] for i in range(3)]
+    mask, size, _, _ = run_largest(np.array(edges, dtype=np.int64), 8, 2)
+    assert size == 5
+    assert mask[:5].all() and not mask[5:].any()
+
+
+@pytest.mark.parametrize("p", [1, 3])
+def test_full_decomposition_matches_networkx(small_web, p):
+    n, edges = small_web
+
+    def fn(comm, g):
+        return g.unmap[: g.n_loc], scc(comm, g)
+
+    labels = gather_by_gid(dist_run(edges, n, p, fn))
+    G = digraph_from_edges(n, edges)
+    expect = np.empty(n, dtype=np.int64)
+    for comp in nx.strongly_connected_components(G):
+        m = min(comp)
+        for v in comp:
+            expect[v] = m
+    assert (labels == expect).all()
+
+
+def test_full_decomposition_small_cycles():
+    edges = []
+    for c in range(5):
+        b = 4 * c
+        edges += [(b, b + 1), (b + 1, b + 2), (b + 2, b + 3), (b + 3, b)]
+    edges = np.array(edges, dtype=np.int64)
+
+    def fn(comm, g):
+        return g.unmap[: g.n_loc], scc(comm, g)
+
+    labels = gather_by_gid(dist_run(edges, 20, 2, fn))
+    assert (labels == (np.arange(20) // 4) * 4).all()
+
+
+def test_empty_graph():
+    mask, size, pivot, _ = run_largest(np.empty((0, 2), dtype=np.int64), 4, 2)
+    assert size == 0
+    assert pivot == -1
+    assert not mask.any()
+
+
+def test_rank_count_invariance(small_web):
+    n, edges = small_web
+    m1, s1, _, _ = run_largest(edges, n, 1)
+    m4, s4, _, _ = run_largest(edges, n, 4)
+    assert s1 == s4
+    assert (m1 == m4).all()

@@ -1,0 +1,108 @@
+"""Delta-stepping SSSP: agreement with Bellman–Ford, bucket behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid
+from repro.analytics import delta_stepping, sssp
+from repro.runtime import SpmdError
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_agrees_with_bellman_ford(small_web, p, kind):
+    n, edges = small_web
+    root = int(edges[0, 0])
+
+    def fn(comm, g):
+        a = sssp(comm, g, root)
+        b = delta_stepping(comm, g, root)
+        assert np.allclose(a.distances, b.distances, equal_nan=True)
+        return g.unmap[: g.n_loc], b.distances
+
+    dist = gather_by_gid(dist_run(edges, n, p, fn, kind))
+    assert dist[root] == 0.0
+
+
+def test_small_delta_approaches_dijkstra(small_web):
+    """Tiny buckets: more phases, each settled with few relaxations."""
+    n, edges = small_web
+    root = int(edges[0, 0])
+
+    def fn(comm, g):
+        small = delta_stepping(comm, g, root, delta=0.5)
+        large = delta_stepping(comm, g, root, delta=1000.0)
+        assert np.allclose(small.distances, large.distances, equal_nan=True)
+        return small.n_phases, large.n_phases
+
+    phases_small, phases_large = dist_run(edges, n, 2, fn)[0]
+    assert phases_small > phases_large
+    assert phases_large <= 2  # one giant bucket ~ pure Bellman-Ford
+
+
+def test_unit_weights_chain():
+    edges = np.array([[0, 1], [1, 2], [2, 3]], dtype=np.int64)
+
+    def fn(comm, g):
+        r = delta_stepping(comm, g, 0, weights=np.ones(g.m_in), delta=1.0)
+        return g.unmap[: g.n_loc], r.distances
+
+    dist = gather_by_gid(dist_run(edges, 4, 2, fn))
+    assert dist.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_heavy_light_mix():
+    """Shortcut via many light edges must beat one heavy edge."""
+    # 0 -> 4 direct (weight 10), 0 ->1->2->3->4 (weight 4 x 1).
+    edges = np.array([[0, 4], [0, 1], [1, 2], [2, 3], [3, 4]], dtype=np.int64)
+    w_map = {(0, 4): 10.0, (0, 1): 1.0, (1, 2): 1.0, (2, 3): 1.0, (3, 4): 1.0}
+
+    def fn(comm, g):
+        from repro.graph import expand_rows
+
+        dsts = g.unmap[expand_rows(g.in_indexes)]
+        srcs = g.unmap[g.in_edges]
+        w = np.array([w_map[(int(u), int(v))] for u, v in zip(srcs, dsts)])
+        r = delta_stepping(comm, g, 0, weights=w, delta=2.0)
+        return g.unmap[: g.n_loc], r.distances
+
+    dist = gather_by_gid(dist_run(np.array(edges), 5, 2, fn))
+    assert dist[4] == 4.0
+
+
+def test_zero_weight_edges():
+    edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+
+    def fn(comm, g):
+        r = delta_stepping(comm, g, 0, weights=np.zeros(g.m_in), delta=1.0)
+        return g.unmap[: g.n_loc], r.distances
+
+    dist = gather_by_gid(dist_run(edges, 3, 2, fn))
+    assert dist.tolist() == [0.0, 0.0, 0.0]
+
+
+def test_reached_count(small_web):
+    n, edges = small_web
+    root = int(edges[0, 0])
+
+    def fn(comm, g):
+        a = sssp(comm, g, root)
+        b = delta_stepping(comm, g, root)
+        assert a.reached == b.reached
+        return b.reached
+
+    assert dist_run(edges, n, 2, fn)[0] > 0
+
+
+def test_invalid_params(small_web):
+    n, edges = small_web
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1, lambda c, g: delta_stepping(c, g, 0, delta=-1.0))
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1, lambda c, g: delta_stepping(c, g, n + 1))
+    with pytest.raises(SpmdError):
+        dist_run(edges, n, 1,
+                 lambda c, g: delta_stepping(
+                     c, g, 0, weights=np.full(g.m_in, -2.0)))

@@ -1,0 +1,132 @@
+"""Edge-list transforms: relabeling, symmetrize, simplify, subgraphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    degree_order,
+    induced_subgraph,
+    random_order,
+    relabel,
+    simplify,
+    symmetrize,
+)
+
+
+class TestRelabel:
+    def test_identity(self):
+        edges = np.array([[0, 1], [2, 0]], dtype=np.int64)
+        assert (relabel(edges, np.arange(3)) == edges).all()
+
+    def test_swap(self):
+        edges = np.array([[0, 1]], dtype=np.int64)
+        perm = np.array([1, 0])
+        assert relabel(edges, perm).tolist() == [[1, 0]]
+
+    def test_preserves_structure(self):
+        rng = np.random.default_rng(1)
+        n = 50
+        edges = rng.integers(0, n, size=(200, 2), dtype=np.int64)
+        perm = random_order(n, seed=2)
+        new = relabel(edges, perm)
+        # Degree multiset is invariant under relabeling.
+        old_deg = np.sort(np.bincount(edges.reshape(-1), minlength=n))
+        new_deg = np.sort(np.bincount(new.reshape(-1), minlength=n))
+        assert (old_deg == new_deg).all()
+
+    def test_invalid_perm(self):
+        edges = np.array([[0, 1]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            relabel(edges, np.array([0, 0]))
+        with pytest.raises(ValueError):
+            relabel(edges, np.array([0, 5]))
+        with pytest.raises(ValueError):
+            relabel(np.array([[0, 9]]), np.arange(3))
+
+
+class TestDegreeOrder:
+    def test_heaviest_first(self):
+        # Vertex 2 has the highest degree.
+        edges = np.array([[2, 0], [2, 1], [2, 3], [0, 1]], dtype=np.int64)
+        perm = degree_order(edges, 4, descending=True)
+        assert perm[2] == 0
+        new = relabel(edges, perm)
+        deg = np.bincount(new.reshape(-1), minlength=4)
+        assert (np.diff(deg) <= 0).all()
+
+    def test_ascending(self):
+        edges = np.array([[2, 0], [2, 1], [2, 3]], dtype=np.int64)
+        perm = degree_order(edges, 4, descending=False)
+        assert perm[2] == 3
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(3)
+        edges = rng.integers(0, 30, size=(100, 2), dtype=np.int64)
+        perm = degree_order(edges, 30)
+        assert sorted(perm.tolist()) == list(range(30))
+
+
+def test_random_order_deterministic():
+    assert (random_order(20, seed=1) == random_order(20, seed=1)).all()
+    assert (random_order(20, seed=1) != random_order(20, seed=2)).any()
+
+
+class TestSymmetrize:
+    def test_adds_reverses(self):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        out = symmetrize(edges)
+        s = set(map(tuple, out))
+        assert s == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_idempotent(self):
+        edges = np.array([[0, 1], [3, 2]], dtype=np.int64)
+        once = symmetrize(edges)
+        assert (symmetrize(once) == once).all()
+
+    def test_empty(self):
+        assert symmetrize(np.empty((0, 2), dtype=np.int64)).shape == (0, 2)
+
+
+class TestSimplify:
+    def test_removes_duplicates_and_loops(self):
+        edges = np.array([[0, 1], [0, 1], [2, 2], [1, 0]], dtype=np.int64)
+        out = simplify(edges)
+        assert set(map(tuple, out)) == {(0, 1), (1, 0)}
+
+    def test_keep_self_loops(self):
+        edges = np.array([[2, 2], [2, 2]], dtype=np.int64)
+        out = simplify(edges, drop_self_loops=False)
+        assert out.tolist() == [[2, 2]]
+
+
+class TestInducedSubgraph:
+    def test_mask_selection(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3], [3, 0]], dtype=np.int64)
+        keep = np.array([True, True, False, True])
+        sub, old = induced_subgraph(edges, keep)
+        assert old.tolist() == [0, 1, 3]
+        # Only 0->1 survives (2 is dropped, breaking the other edges).
+        assert sub.tolist() == [[0, 1], [2, 0]]
+
+    def test_id_list_selection(self):
+        edges = np.array([[5, 6], [6, 7]], dtype=np.int64)
+        sub, old = induced_subgraph(edges, np.array([6, 5]))
+        assert old.tolist() == [5, 6]
+        assert sub.tolist() == [[0, 1]]
+
+    def test_empty_keep(self):
+        edges = np.array([[0, 1]], dtype=np.int64)
+        sub, old = induced_subgraph(edges, np.zeros(2, dtype=bool))
+        assert len(sub) == 0 and len(old) == 0
+
+    def test_roundtrip_ids(self):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 40, size=(150, 2), dtype=np.int64)
+        keep = rng.random(40) < 0.5
+        sub, old = induced_subgraph(edges, keep)
+        # Mapping back gives a subset of the original edges.
+        back = old[sub]
+        orig = set(map(tuple, edges))
+        assert all(tuple(e) in orig for e in back)

@@ -1,0 +1,107 @@
+"""Distributed triangle counting vs. NetworkX."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid
+from repro.analytics import triangle_count
+
+
+def nx_reference(n, edges):
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    e = np.asarray(edges)
+    G.add_edges_from(map(tuple, e[e[:, 0] != e[:, 1]]))
+    tri = nx.triangles(G)
+    per_v = np.array([tri[i] for i in range(n)], dtype=np.int64)
+    return per_v, int(per_v.sum() // 3), nx.transitivity(G)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_matches_networkx(small_web, p, kind):
+    n, edges = small_web
+    ref_per_v, ref_total, ref_gcc = nx_reference(n, edges)
+
+    def fn(comm, g):
+        r = triangle_count(comm, g)
+        return (g.unmap[: g.n_loc], r.local_triangles, r.total,
+                r.global_clustering)
+
+    outs = dist_run(edges, n, p, fn, kind)
+    per_v = gather_by_gid(outs)
+    assert outs[0][2] == ref_total
+    assert (per_v == ref_per_v).all()
+    assert outs[0][3] == pytest.approx(ref_gcc)
+
+
+def test_multi_edges_and_self_loops_collapsed(tiny_multi):
+    """Counting is over the underlying simple graph."""
+    n, edges = tiny_multi
+    ref_per_v, ref_total, ref_gcc = nx_reference(n, edges)
+
+    def fn(comm, g):
+        r = triangle_count(comm, g)
+        return g.unmap[: g.n_loc], r.local_triangles, r.total
+
+    outs = dist_run(edges, n, 3, fn)
+    assert outs[0][2] == ref_total
+    assert (gather_by_gid(outs) == ref_per_v).all()
+
+
+def test_known_small_graphs():
+    cases = [
+        # triangle
+        (3, [[0, 1], [1, 2], [2, 0]], 1),
+        # triangle given as reciprocal directed pairs
+        (3, [[0, 1], [1, 0], [1, 2], [2, 1], [0, 2], [2, 0]], 1),
+        # square (no triangles)
+        (4, [[0, 1], [1, 2], [2, 3], [3, 0]], 0),
+        # K4: 4 triangles
+        (4, [[i, j] for i in range(4) for j in range(i + 1, 4)], 4),
+        # two disjoint triangles
+        (6, [[0, 1], [1, 2], [2, 0], [3, 4], [4, 5], [5, 3]], 2),
+    ]
+    for n, e, expect in cases:
+        edges = np.array(e, dtype=np.int64)
+
+        def fn(comm, g):
+            return triangle_count(comm, g).total
+
+        assert dist_run(edges, n, 2, fn)[0] == expect, (n, e)
+
+
+def test_triangle_free_graph():
+    # A star has no triangles but plenty of wedges.
+    edges = np.array([[0, i] for i in range(1, 12)], dtype=np.int64)
+
+    def fn(comm, g):
+        r = triangle_count(comm, g)
+        return r.total, r.global_clustering
+
+    total, gcc = dist_run(edges, 12, 2, fn)[0]
+    assert total == 0
+    assert gcc == 0.0
+
+
+def test_empty_graph():
+    def fn(comm, g):
+        return triangle_count(comm, g).total
+
+    assert dist_run(np.empty((0, 2), dtype=np.int64), 5, 2, fn)[0] == 0
+
+
+def test_rank_count_invariance(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        r = triangle_count(comm, g)
+        return g.unmap[: g.n_loc], r.local_triangles, r.total
+
+    o1 = dist_run(edges, n, 1, fn)
+    o4 = dist_run(edges, n, 4, fn, "rand")
+    assert o1[0][2] == o4[0][2]
+    assert (gather_by_gid(o1) == gather_by_gid(o4)).all()

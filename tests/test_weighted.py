@@ -1,0 +1,133 @@
+"""Weighted graphs: value-carrying construction, weighted SSSP, checkpoints."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import PARTITION_KINDS, dist_run, gather_by_gid, make_partition
+from repro.analytics import sssp
+from repro.graph import build_dist_graph, expand_rows
+from repro.io import load_graph, save_graph
+from repro.runtime import SpmdError, run_spmd
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    rng = np.random.default_rng(23)
+    n = 200
+    edges = np.unique(rng.integers(0, n, size=(900, 2), dtype=np.int64),
+                      axis=0)
+    weights = 1.0 + 9.0 * rng.random(len(edges))
+    return n, edges, weights
+
+
+def build_weighted(edges, weights, n, p, kind="vblock"):
+    def job(comm):
+        chunk_e = np.array_split(edges, comm.size)[comm.rank]
+        chunk_w = np.array_split(weights, comm.size)[comm.rank]
+        part = make_partition(kind, comm, n, chunk_e)
+        g = build_dist_graph(comm, chunk_e, part, edge_values=chunk_w)
+        g.validate()
+        return g
+
+    return run_spmd(p, job)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize("kind", PARTITION_KINDS)
+def test_values_follow_edges(weighted_graph, p, kind):
+    """Every (u, v, w) triple must survive redistribution intact."""
+    n, edges, weights = weighted_graph
+    expect = {(int(u), int(v)): w for (u, v), w in zip(edges, weights)}
+    graphs = build_weighted(edges, weights, n, p, kind)
+    seen_out = 0
+    for g in graphs:
+        assert g.is_weighted
+        src_g = g.unmap[expand_rows(g.out_indexes)]
+        dst_g = g.unmap[g.out_edges]
+        for u, v, w in zip(src_g, dst_g, g.out_values):
+            assert expect[(int(u), int(v))] == w
+            seen_out += 1
+        src_g2 = g.unmap[g.in_edges]
+        dst_g2 = g.unmap[expand_rows(g.in_indexes)]
+        for u, v, w in zip(src_g2, dst_g2, g.in_values):
+            assert expect[(int(u), int(v))] == w
+    assert seen_out == len(edges)
+
+
+def test_unweighted_build_has_no_values(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        assert not g.is_weighted
+        assert g.out_values is None and g.in_values is None
+        return True
+
+    assert all(dist_run(edges, n, 2, fn))
+
+
+def test_weighted_sssp_matches_dijkstra(weighted_graph):
+    n, edges, weights = weighted_graph
+    root = int(edges[0, 0])
+
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    for (u, v), w in zip(edges, weights):
+        G.add_edge(int(u), int(v), weight=float(w))
+    ref = nx.single_source_dijkstra_path_length(G, root)
+    expect = np.full(n, np.inf)
+    for v, d in ref.items():
+        expect[v] = d
+
+    def job(comm):
+        chunk_e = np.array_split(edges, comm.size)[comm.rank]
+        chunk_w = np.array_split(weights, comm.size)[comm.rank]
+        part = make_partition("rand", comm, n, chunk_e)
+        g = build_dist_graph(comm, chunk_e, part, edge_values=chunk_w)
+        res = sssp(comm, g, root)  # uses g.in_values automatically
+        return g.unmap[: g.n_loc], res.distances
+
+    got = gather_by_gid(run_spmd(3, job))
+    assert np.allclose(got, expect)
+
+
+def test_weighted_checkpoint_roundtrip(weighted_graph, tmp_path):
+    n, edges, weights = weighted_graph
+    ckpt = tmp_path / "wckpt"
+
+    def save_job(comm):
+        from repro.partition import VertexBlockPartition
+
+        chunk_e = np.array_split(edges, comm.size)[comm.rank]
+        chunk_w = np.array_split(weights, comm.size)[comm.rank]
+        part = VertexBlockPartition(n, comm.size)
+        g = build_dist_graph(comm, chunk_e, part, edge_values=chunk_w)
+        save_graph(comm, g, ckpt)
+        return g.out_values.sum() + g.in_values.sum()
+
+    saved = run_spmd(2, save_job)
+
+    def load_job(comm):
+        from repro.partition import VertexBlockPartition
+
+        g = load_graph(comm, ckpt, VertexBlockPartition(n, comm.size))
+        assert g.is_weighted
+        return g.out_values.sum() + g.in_values.sum()
+
+    loaded = run_spmd(2, load_job)
+    assert saved == pytest.approx(loaded)
+
+
+def test_value_length_mismatch_rejected(weighted_graph):
+    n, edges, weights = weighted_graph
+
+    def job(comm):
+        from repro.partition import VertexBlockPartition
+
+        part = VertexBlockPartition(n, comm.size)
+        build_dist_graph(comm, edges, part, edge_values=weights[:-1])
+
+    with pytest.raises(SpmdError):
+        run_spmd(1, job)
