@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository health check: lint (when ruff is available) + the tier-1 suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples scripts
+else
+    echo "== ruff not installed; skipping lint (pip install -e '.[dev]') =="
+fi
+
+echo "== pytest (tier 1) =="
+PYTHONPATH=src python -m pytest -x -q "$@"

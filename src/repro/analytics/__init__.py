@@ -18,6 +18,12 @@ All functions are SPMD: call them from within :func:`repro.runtime.run_spmd`
 with this rank's :class:`~repro.graph.DistGraph`.
 """
 
+from .batched import (
+    BatchedPPRResult,
+    batched_closeness,
+    batched_personalized_pagerank,
+    multi_source_bfs,
+)
 from .betweenness import BetweennessResult, betweenness_centrality
 from .bfs import distributed_bfs
 from .bfs_dirop import distributed_bfs_dirop
@@ -51,6 +57,10 @@ from .wcc import WCCResult, wcc
 __all__ = [
     "HaloExchange",
     "distributed_bfs",
+    "multi_source_bfs",
+    "batched_personalized_pagerank",
+    "BatchedPPRResult",
+    "batched_closeness",
     "pagerank",
     "PageRankResult",
     "label_propagation",

@@ -82,6 +82,10 @@ class HaloExchange:
         ``values`` must have length ``n_loc + n_gst``; entries
         ``[0, n_loc)`` are this rank's authoritative values and entries
         ``[n_loc, n_loc + n_gst)`` are overwritten with the owners' values.
+
+        ``values`` may also be a 2-D ``(n_loc + n_gst, k)`` block (the
+        batched analytics ship k values per ghost in one message); all
+        ranks must use the same ``k``.
         """
         if len(values) != self.g.n_total:
             raise ValueError(
@@ -92,7 +96,9 @@ class HaloExchange:
         data, counts = self.comm.alltoallv(send)
         if not np.array_equal(counts, self._recv_counts):
             raise AssertionError("halo exchange count mismatch")
-        values[self._ghost_lids] = data
+        # The all-empty receive path yields a flat buffer; restore trailing
+        # dims so 2-D blocks assign cleanly.
+        values[self._ghost_lids] = data.reshape((-1,) + values.shape[1:])
         return values
 
     def exchange_many(self, *arrays: np.ndarray) -> None:

@@ -9,7 +9,11 @@ Wraps the library's end-to-end pipeline as a tool:
 * ``partition`` — score vertex-block / edge-block / random / PuLP
   partitionings of a graph;
 * ``analyze`` — run any subset of the analytics over a binary edge list on
-  ``--ranks`` SPMD ranks and print a report.
+  ``--ranks`` SPMD ranks and print a report (``--checkpoint DIR`` reloads
+  a saved graph instead of rebuilding; ``--save-checkpoint DIR`` writes
+  one);
+* ``serve`` — start the persistent analytics engine over one resident
+  graph and drive it with a query script (see ``repro.service``).
 """
 
 from __future__ import annotations
@@ -157,12 +161,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     from .graph import build_dist_graph
     from .io import striped_read
+    from .io.checkpoint import load_graph, save_graph
     from .partition import (
         EdgeBlockPartition,
         RandomHashPartition,
         VertexBlockPartition,
     )
-    from .runtime import SUM, run_spmd
+    from .runtime import LAND, SUM, RankAborted, SpmdError, run_spmd
 
     which = args.analytics or list(ANALYTIC_CHOICES)
     from .io import count_edges, read_edge_range
@@ -176,14 +181,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         n = max(n, int(chunk.max()) + 1 if len(chunk) else 0)
 
     def job(comm):
-        chunk, _ = striped_read(comm, args.input, width=args.width)
+        # A complete checkpoint skips reconstruction (and, except for the
+        # data-dependent eblock partition, the edge read as well).
+        have = (args.checkpoint is not None and
+                (args.checkpoint / f"rank{comm.rank:05d}.npz").exists())
+        from_ckpt = comm.allreduce(have, LAND)
+        chunk = None
+        if args.partition == "eblock" or not from_ckpt:
+            chunk, _ = striped_read(comm, args.input, width=args.width)
         if args.partition == "vblock":
             part = VertexBlockPartition(n, comm.size)
         elif args.partition == "eblock":
             part = EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
         else:
             part = RandomHashPartition(n, comm.size, seed=7)
-        g = build_dist_graph(comm, chunk, part)
+        if from_ckpt:
+            g = load_graph(comm, args.checkpoint, part)
+        else:
+            g = build_dist_graph(comm, chunk, part)
+            if args.save_checkpoint is not None:
+                save_graph(comm, g, args.save_checkpoint)
         halo = HaloExchange(comm, g)
         report: list[tuple[str, float, str]] = []
 
@@ -238,16 +255,179 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if "betweenness" in which:
             run("betweenness",
                 lambda: f"sampled k=4, sources={betweenness_centrality(comm, g, k=min(4, max(1, n)), halo=halo).n_sources}")
-        return report
+        return report, from_ckpt
 
     t0 = time.perf_counter()
-    report = run_spmd(args.ranks, job)[0]
+    timeout = args.timeout if args.timeout > 0 else None
+    try:
+        report, from_ckpt = run_spmd(args.ranks, job, timeout=timeout)[0]
+    except SpmdError as exc:
+        only_aborts = all(isinstance(e, RankAborted)
+                          for e in exc.failures.values())
+        if timeout is not None and only_aborts:
+            print(f"error: analysis exceeded --timeout {args.timeout:g}s "
+                  f"and was aborted", file=sys.stderr)
+            return 1
+        raise
     wall = time.perf_counter() - t0
+    source = "checkpoint" if from_ckpt else "built"
     print(f"{args.input}: n={n:,}, m={m:,}, {args.ranks} ranks, "
-          f"{args.partition} partitioning")
+          f"{args.partition} partitioning, graph {source}")
     for name, dt, summary in report:
         print(f"  {name:<12} {dt:8.3f} s   {summary}")
     print(f"  {'TOTAL':<12} {wall:8.3f} s (incl. ingest + build)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# subcommand: serve
+# ---------------------------------------------------------------------------
+#: Default mixed workload when no --queries script is given.
+_DEFAULT_QUERIES = """\
+pagerank
+wcc
+bfs 0
+bfs 1
+bfs 2
+closeness 0
+ppr 0
+ppr 1
+triangles
+pagerank
+bfs 0
+"""
+
+
+def _parse_query_line(line: str) -> tuple[str, dict] | None:
+    """``"bfs 17 direction=out"`` → ``("bfs", {"source": 17, ...})``."""
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return None
+    from .service import SERVING_KINDS
+
+    tokens = line.split()
+    kind, rest = tokens[0], tokens[1:]
+    if kind not in SERVING_KINDS:
+        raise ValueError(
+            f"unknown analytic {kind!r} in {line!r}; "
+            f"expected one of: {', '.join(sorted(SERVING_KINDS))}")
+    positional = {"bfs": "source", "closeness": "vertex", "ppr": "seed"}
+    params: dict = {}
+    for tok in rest:
+        if "=" in tok:
+            key, val = tok.split("=", 1)
+            try:
+                parsed: object = int(val)
+            except ValueError:
+                try:
+                    parsed = float(val)
+                except ValueError:
+                    parsed = val
+            params[key] = parsed
+        elif kind in positional and positional[kind] not in params:
+            try:
+                params[positional[kind]] = int(tok)
+            except ValueError:
+                raise ValueError(
+                    f"expected an integer {positional[kind]} for {kind}, "
+                    f"got {tok!r} in {line!r}") from None
+        else:
+            raise ValueError(f"cannot parse query token {tok!r} in {line!r}")
+    return kind, params
+
+
+def _summarize_result(kind: str, res) -> str:
+    if kind == "pagerank":
+        return f"sum={res['scores'].sum():.6f} iters={res['n_iters']}"
+    if kind == "wcc":
+        return f"giant={res['giant_size']} components={res['n_components']}"
+    if kind == "triangles":
+        return f"total={res['total']} clustering={res['global_clustering']:.4f}"
+    if kind == "bfs":
+        return f"reached={res['reached']} max_level={res['max_level']}"
+    if kind == "closeness":
+        return f"cc({res['vertex']})={res['score']:.4f}"
+    if kind == "ppr":
+        return f"top={int(res['scores'].argmax())} iters={res['n_iters']}"
+    return str(res)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import AdmissionError, AnalyticsEngine
+
+    if args.queries is None:
+        text = _DEFAULT_QUERIES
+    elif str(args.queries) == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.queries).read_text()
+    try:
+        queries = [q for q in
+                   (_parse_query_line(ln) for ln in text.splitlines())
+                   if q is not None]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    queries = queries * args.repeat
+
+    t0 = time.perf_counter()
+    engine = AnalyticsEngine(
+        args.ranks, path=args.input, width=args.width,
+        partition=args.partition,
+        checkpoint=args.checkpoint, save_checkpoint=args.save_checkpoint,
+        max_pending=args.max_pending, batch_window=args.batch_window,
+        cache_capacity=args.cache, default_timeout=args.timeout,
+    )
+    build_s = time.perf_counter() - t0
+    print(f"engine up: n={engine.n_global:,}, m={engine.m_global:,}, "
+          f"{args.ranks} ranks, {args.partition} partitioning, "
+          f"graph {engine.built_from} in {build_s:.3f} s "
+          f"[fingerprint {engine.fingerprint}]")
+    try:
+        pending: list[tuple[int, str]] = []
+
+        def drain():
+            for job_id, kind in pending:
+                job = engine.job(job_id)
+                res = engine.result(job_id)
+                lat = job.latency_s or 0.0
+                tag = "cache" if job.cached else "ran"
+                print(f"  {kind:<10} {lat * 1e3:9.2f} ms  [{tag:>5}]  "
+                      f"{_summarize_result(kind, res)}")
+            pending.clear()
+
+        t0 = time.perf_counter()
+        for kind, params in queries:
+            while True:
+                try:
+                    pending.append((engine.submit(kind, **params), kind))
+                    break
+                except AdmissionError:
+                    drain()  # backlog full: consume results, then retry
+        drain()
+        serve_s = time.perf_counter() - t0
+        status = engine.status()
+        nq = len(queries)
+        print(f"served {nq} queries in {serve_s:.3f} s "
+              f"({serve_s / max(nq, 1) * 1e3:.2f} ms/query amortized; "
+              f"cold build was {build_s:.3f} s)")
+        if args.status_json:
+            print(json.dumps(status, indent=2))
+        else:
+            j, c, m = status["jobs"], status["cache"], status["comm"]
+            print(f"  jobs: {j['completed']} completed, {j['failed']} failed, "
+                  f"{j['batches']} dispatches "
+                  f"(largest batch {j['max_batch_size']})")
+            print(f"  cache: {c['hits']} hits / {c['misses']} misses "
+                  f"(rate {c['hit_rate']:.0%}), {c['size']}/{c['capacity']} "
+                  f"entries")
+            print(f"  comm: {m['bytes_sent'] / 1e6:.2f} MB sent over "
+                  f"{m['n_collectives']} collectives, "
+                  f"idle {m['idle_s']:.3f} s, xfer {m['comm_s']:.3f} s")
+    finally:
+        engine.shutdown()
     return 0
 
 
@@ -299,7 +479,44 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--analytics", nargs="*", choices=ANALYTIC_CHOICES,
                    help="subset to run (default: all)")
     a.add_argument("--width", type=int, default=32, choices=(32, 64))
+    a.add_argument("--timeout", type=float, default=120.0,
+                   help="per-collective-wait timeout in seconds for the "
+                        "SPMD world; 0 disables (default: 120)")
+    a.add_argument("--checkpoint", type=Path, default=None,
+                   help="load the graph from this checkpoint directory "
+                        "when present (skips reconstruction)")
+    a.add_argument("--save-checkpoint", type=Path, default=None,
+                   help="write the freshly built graph to this directory")
     a.set_defaults(fn=_cmd_analyze)
+
+    s = sub.add_parser(
+        "serve", help="serve analytics over one resident graph")
+    s.add_argument("input", type=Path)
+    s.add_argument("--ranks", type=int, default=4)
+    s.add_argument("--partition", choices=("vblock", "eblock", "rand"),
+                   default="vblock")
+    s.add_argument("--queries", type=str, default=None,
+                   help="query script file ('-' for stdin; default: a "
+                        "built-in mixed workload). One query per line: "
+                        "'pagerank', 'bfs 17', 'ppr 5 max_iters=30', ...")
+    s.add_argument("--repeat", type=int, default=1,
+                   help="run the workload this many times (shows caching)")
+    s.add_argument("--checkpoint", type=Path, default=None,
+                   help="load the graph from this checkpoint when present")
+    s.add_argument("--save-checkpoint", type=Path, default=None,
+                   help="write the built graph to this directory")
+    s.add_argument("--timeout", type=float, default=60.0,
+                   help="default per-job timeout in seconds")
+    s.add_argument("--batch-window", type=float, default=0.02,
+                   help="batching window seconds for coalescible queries")
+    s.add_argument("--max-pending", type=int, default=64,
+                   help="admission bound on queued jobs")
+    s.add_argument("--cache", type=int, default=128,
+                   help="result-cache capacity (0 disables)")
+    s.add_argument("--status-json", action="store_true",
+                   help="dump the final engine status as JSON")
+    s.add_argument("--width", type=int, default=32, choices=(32, 64))
+    s.set_defaults(fn=_cmd_serve)
 
     return p
 

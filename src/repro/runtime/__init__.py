@@ -38,7 +38,7 @@ from .reduceops import (
     ReduceOp,
 )
 from .threadqueue import SharedSendQueues, ThreadLocalQueue
-from .trace import CommEvent, CommTrace
+from .trace import CommEvent, CommTrace, aggregate_summaries
 
 __all__ = [
     "Communicator",
@@ -62,6 +62,7 @@ __all__ = [
     "CommUsageError",
     "CommEvent",
     "CommTrace",
+    "aggregate_summaries",
     "SharedSendQueues",
     "ThreadLocalQueue",
 ]

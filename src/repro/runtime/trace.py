@@ -19,10 +19,11 @@ instrumenting any algorithm code.
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
-__all__ = ["CommEvent", "CommTrace"]
+__all__ = ["CommEvent", "CommTrace", "aggregate_summaries"]
 
 
 @dataclass
@@ -143,3 +144,56 @@ class CommTrace:
             "msg_count": self.msg_count,
             "n_collectives": len(self.events),
         }
+
+    def region_summaries(self) -> dict[str, dict[str, float]]:
+        """Per-region aggregates (events with no region land in ``""``)."""
+        out: dict[str, dict[str, float]] = {}
+        for e in self.events:
+            r = out.setdefault(e.region or "", {
+                "bytes_sent": 0, "bytes_recv": 0, "msg_count": 0,
+                "idle_s": 0.0, "comm_s": 0.0, "n_collectives": 0,
+            })
+            r["bytes_sent"] += e.bytes_sent
+            r["bytes_recv"] += e.bytes_recv
+            r["msg_count"] += e.msg_count
+            r["idle_s"] += e.wait_s
+            r["comm_s"] += e.xfer_s
+            r["n_collectives"] += 1
+        return out
+
+    def to_json(self, include_events: bool = False,
+                indent: int | None = None) -> str:
+        """Machine-readable export of this rank's comm statistics.
+
+        The top level carries :meth:`summary` plus per-region aggregates;
+        ``include_events`` additionally embeds the full chronological event
+        list (one record per collective).
+        """
+        doc: dict = {
+            "summary": self.summary(),
+            "regions": self.region_summaries(),
+        }
+        if include_events:
+            doc["events"] = [asdict(e) for e in self.events]
+        return json.dumps(doc, indent=indent)
+
+
+def aggregate_summaries(traces) -> dict[str, float]:
+    """Fold per-rank :meth:`CommTrace.summary` dicts into world totals.
+
+    Seconds fields report the *maximum* over ranks (critical path);
+    byte/message counters report sums.  Accepts either ``CommTrace``
+    objects or already-computed summary dicts.
+    """
+    sums = {"bytes_sent": 0, "bytes_recv": 0, "msg_count": 0,
+            "n_collectives": 0}
+    maxes = {"compute_s": 0.0, "idle_s": 0.0, "comm_s": 0.0}
+    n = 0
+    for t in traces:
+        s = t.summary() if isinstance(t, CommTrace) else t
+        for k in sums:
+            sums[k] += s[k]
+        for k in maxes:
+            maxes[k] = max(maxes[k], s[k])
+        n += 1
+    return {"n_ranks": n, **sums, **maxes}

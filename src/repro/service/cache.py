@@ -1,0 +1,115 @@
+"""LRU result cache for the analytics-serving engine.
+
+Serving workloads are heavily repetitive (the same hub vertices, the same
+dashboard queries), so the cheapest query is the one never dispatched to
+the rank world.  Keys bind a result to *exactly* the graph and query that
+produced it: ``(graph fingerprint, analytic kind, canonicalized params)``.
+The fingerprint changes whenever the resident graph does, so a reload can
+never serve stale results.
+
+Cached values are returned by reference (zero-copy serving); callers must
+treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+import numpy as np
+
+__all__ = ["ResultCache", "canonical_params", "cache_key"]
+
+
+def canonical_params(params: Mapping[str, Any]) -> tuple:
+    """Deterministic, hashable form of a query's keyword parameters.
+
+    Sorts by name and converts NumPy scalars/arrays (and lists/tuples/
+    nested dicts) into plain hashable Python values, so logically equal
+    queries — ``source=3`` vs ``source=np.int64(3)`` — share a cache slot.
+    """
+    return tuple(sorted((k, _canonical(v)) for k, v in params.items()))
+
+
+def _canonical(value: Any) -> Hashable:
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, tuple(value.ravel().tolist()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
+    return value
+
+
+def cache_key(fingerprint: str, kind: str, params: Mapping[str, Any]) -> tuple:
+    """The full cache key of one query against one resident graph."""
+    return (fingerprint, kind, canonical_params(params))
+
+
+class ResultCache:
+    """Thread-safe LRU cache with hit/miss/eviction counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained results; 0 disables caching (every
+        lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)`` and refreshes recency."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return True, self._data[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> dict[str, float]:
+        """Counters snapshot (plus derived hit rate)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

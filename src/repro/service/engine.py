@@ -1,0 +1,731 @@
+"""Persistent analytics-serving engine over a resident SPMD rank world.
+
+The paper's headline cost asymmetry (§III-A) is that graph *construction*
+— ingest, ``alltoallv`` redistribution, CSR conversion, ghost relabeling —
+dominates end-to-end time, yet ``run_spmd``-per-query pays it on every
+call.  :class:`AnalyticsEngine` inverts that: it spins up ``nranks``
+worker threads **once**, each of which builds (or checkpoint-loads) its
+:class:`~repro.graph.DistGraph` shard **once** and then parks on a
+per-rank command queue.  Every subsequent query is dispatched to the
+already-resident shards, so its cost is the analytic alone.
+
+Failure isolation is the key serving property: worker threads and graph
+shards are long-lived, but *collectives* run over a *per-job*
+:class:`~repro.runtime.comm.World`.  When a rank raises mid-job, it
+aborts that job's barrier; peer ranks unblock with ``RankAborted`` at
+their next collective, every rank reports back to the driver, and the
+workers return to their queues with shards intact — the abortable-barrier
+machinery recovers the world without rebuilding anything.  (A
+``threading.Barrier`` abort is permanent, so reusing one world across
+jobs would let a single bad query poison every later one.)
+
+Query flow::
+
+    submit() ── cache hit? ──> finish immediately
+        └─ no ─> JobScheduler (admission control + batching window)
+                     └─> dispatcher thread ─> per-rank command queues
+                             └─> batched/single analytic over the shards
+                                     └─> result split per job, cached
+
+Three query classes are batchable: pending BFS sources, closeness
+vertices, and personalized-PageRank seeds each coalesce into one
+multi-source run (see :mod:`repro.analytics.batched`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..analytics import (
+    HaloExchange,
+    batched_closeness,
+    batched_personalized_pagerank,
+    multi_source_bfs,
+    pagerank,
+    triangle_count,
+    wcc,
+)
+from ..graph import build_dist_graph
+from ..partition import (
+    EdgeBlockPartition,
+    RandomHashPartition,
+    VertexBlockPartition,
+)
+from ..runtime import LAND, Communicator, RankAborted, World
+from .cache import ResultCache, cache_key
+from .scheduler import AdmissionError, Job, JobScheduler
+
+__all__ = [
+    "AnalyticsEngine",
+    "AdmissionError",
+    "EngineClosedError",
+    "JobFailedError",
+    "JobTimeoutError",
+    "SERVING_KINDS",
+]
+
+
+class EngineClosedError(RuntimeError):
+    """The engine has been shut down; no further queries are accepted."""
+
+
+class JobFailedError(RuntimeError):
+    """A job raised inside the rank world; the engine itself survived."""
+
+
+class JobTimeoutError(JobFailedError):
+    """A job exceeded its timeout and was aborted."""
+
+
+# ---------------------------------------------------------------------------
+# per-rank completion tracking for one dispatched command
+# ---------------------------------------------------------------------------
+class _RankReport:
+    """Collects per-rank results/errors; fires when every rank reported."""
+
+    def __init__(self, nranks: int):
+        self.results: list[Any] = [None] * nranks
+        self.errors: dict[int, BaseException] = {}
+        self._remaining = nranks
+        self._lock = threading.Lock()
+        self.all_done = threading.Event()
+
+    def report(self, rank: int, result: Any = None,
+               error: BaseException | None = None) -> None:
+        with self._lock:
+            if error is not None:
+                self.errors[rank] = error
+            else:
+                self.results[rank] = result
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.all_done.set()
+
+
+# ---------------------------------------------------------------------------
+# analytic registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _KindSpec:
+    """How the engine runs, batches, and caches one analytic kind."""
+
+    name: str
+    make_fn: Callable[["AnalyticsEngine", list[Job]], Callable]
+    # Split rank-0's payload into one result per job (index-aligned).
+    split: Callable[[list[Job], Any], list[Any]]
+    # Params (beyond the per-job source) that must match for coalescing;
+    # None means the kind is never batched.
+    batch_params: tuple[str, ...] | None = None
+    cacheable: bool = True
+
+
+def _assemble_by_gid(comm: Communicator, g, local_values: np.ndarray,
+                     fill=0) -> np.ndarray | None:
+    """Gather per-local-vertex values into global-id order on rank 0."""
+    local_values = np.ascontiguousarray(local_values)
+    gids = comm.gatherv(g.unmap[: g.n_loc].astype(np.int64))
+    vals = comm.gatherv(local_values)
+    if comm.rank != 0:
+        return None
+    gid_data, _ = gids
+    val_data, _ = vals
+    shape = (g.n_global,) + local_values.shape[1:]
+    out = np.full(shape, fill, dtype=local_values.dtype)
+    out[gid_data] = val_data.reshape((-1,) + local_values.shape[1:])
+    return out
+
+
+def _pagerank_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    p = jobs[0].params
+
+    def fn(comm, state):
+        g = state["graph"]
+        halo = HaloExchange(comm, g)
+        res = pagerank(comm, g, damping=p.get("damping", 0.85),
+                       max_iters=p.get("max_iters", 20),
+                       tol=p.get("tol"), halo=halo)
+        scores = _assemble_by_gid(comm, g, res.scores, fill=0.0)
+        if comm.rank:
+            return None
+        return {"scores": scores, "n_iters": res.n_iters,
+                "final_delta": res.final_delta}
+
+    return fn
+
+
+def _wcc_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    def fn(comm, state):
+        g = state["graph"]
+        res = wcc(comm, g, halo=HaloExchange(comm, g))
+        labels = _assemble_by_gid(comm, g, res.labels, fill=-1)
+        if comm.rank:
+            return None
+        giant = int((labels == res.giant_label).sum()) if len(labels) else 0
+        return {"labels": labels, "giant_label": int(res.giant_label),
+                "giant_size": giant,
+                "n_components": int(len(np.unique(labels))) if len(labels) else 0}
+
+    return fn
+
+
+def _triangles_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    def fn(comm, state):
+        g = state["graph"]
+        res = triangle_count(comm, g, halo=HaloExchange(comm, g))
+        if comm.rank:
+            return None
+        return {"total": int(res.total),
+                "global_clustering": float(res.global_clustering)}
+
+    return fn
+
+
+def _bfs_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    sources = np.array([j.params["source"] for j in jobs], dtype=np.int64)
+    direction = jobs[0].params.get("direction", "out")
+
+    def fn(comm, state):
+        g = state["graph"]
+        levels = multi_source_bfs(comm, g, sources, direction=direction)
+        full = _assemble_by_gid(comm, g, levels, fill=-2)
+        if comm.rank:
+            return None
+        return full  # (n_global, k)
+
+    return fn
+
+
+def _bfs_split(jobs: list[Job], payload: np.ndarray) -> list[Any]:
+    out = []
+    for j, job in enumerate(jobs):
+        col = payload[:, j].copy()
+        out.append({"source": int(job.params["source"]),
+                    "levels": col, "reached": int((col >= 0).sum()),
+                    "max_level": int(col.max()) if (col >= 0).any() else -1})
+    return out
+
+
+def _closeness_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    vertices = np.array([j.params["vertex"] for j in jobs], dtype=np.int64)
+
+    def fn(comm, state):
+        g = state["graph"]
+        results = batched_closeness(comm, g, vertices)
+        if comm.rank:
+            return None
+        return results
+
+    return fn
+
+
+def _closeness_split(jobs: list[Job], payload: list) -> list[Any]:
+    return [{"vertex": r.vertex, "score": r.score,
+             "score_unscaled": r.score_unscaled,
+             "n_reaching": r.n_reaching,
+             "total_distance": r.total_distance}
+            for r in payload]
+
+
+def _ppr_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    seeds = np.array([j.params["seed"] for j in jobs], dtype=np.int64)
+    p = jobs[0].params
+
+    def fn(comm, state):
+        g = state["graph"]
+        res = batched_personalized_pagerank(
+            comm, g, seeds, damping=p.get("damping", 0.85),
+            max_iters=p.get("max_iters", 50), tol=p.get("tol", 1e-10),
+            halo=HaloExchange(comm, g))
+        full = _assemble_by_gid(comm, g, res.scores, fill=0.0)
+        if comm.rank:
+            return None
+        return {"scores": full, "n_iters": res.n_iters,
+                "deltas": res.final_deltas}
+
+    return fn
+
+
+def _ppr_split(jobs: list[Job], payload: dict) -> list[Any]:
+    return [{"seed": int(job.params["seed"]),
+             "scores": payload["scores"][:, j].copy(),
+             "n_iters": payload["n_iters"],
+             "final_delta": float(payload["deltas"][j])}
+            for j, job in enumerate(jobs)]
+
+
+def _debug_fail_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    fail_rank = int(jobs[0].params.get("fail_rank", 0))
+
+    def fn(comm, state):
+        comm.barrier()
+        if comm.rank == fail_rank:
+            raise RuntimeError("injected failure (debug)")
+        comm.barrier()  # peers block here until the abort unblocks them
+        return None
+
+    return fn
+
+
+def _debug_sleep_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    seconds = float(jobs[0].params.get("seconds", 1.0))
+
+    def fn(comm, state):
+        # Sleep in barrier-punctuated slices so a timeout abort lands fast.
+        for _ in range(max(1, int(seconds / 0.05))):
+            time.sleep(0.05)
+            comm.barrier()
+        return None
+
+    return fn
+
+
+def _single_split(jobs: list[Job], payload: Any) -> list[Any]:
+    return [payload]
+
+
+_KINDS: dict[str, _KindSpec] = {
+    "pagerank": _KindSpec("pagerank", _pagerank_fn, _single_split),
+    "wcc": _KindSpec("wcc", _wcc_fn, _single_split),
+    "triangles": _KindSpec("triangles", _triangles_fn, _single_split),
+    "bfs": _KindSpec("bfs", _bfs_fn, _bfs_split,
+                     batch_params=("direction",)),
+    "closeness": _KindSpec("closeness", _closeness_fn, _closeness_split,
+                           batch_params=()),
+    "ppr": _KindSpec("ppr", _ppr_fn, _ppr_split,
+                     batch_params=("damping", "max_iters", "tol")),
+    # Test/ops hooks: deliberately failing and slow jobs.
+    "_debug_fail": _KindSpec("_debug_fail", _debug_fail_fn, _single_split,
+                             cacheable=False),
+    "_debug_sleep": _KindSpec("_debug_sleep", _debug_sleep_fn, _single_split,
+                              cacheable=False),
+}
+
+#: Publicly served analytic kinds (debug hooks excluded).
+SERVING_KINDS = tuple(k for k in _KINDS if not k.startswith("_"))
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class AnalyticsEngine:
+    """Long-lived analytics server over one resident distributed graph.
+
+    Parameters
+    ----------
+    nranks:
+        SPMD world size (persistent worker threads).
+    edges, n:
+        In-memory edge list ``(m, 2)`` and vertex count; each rank builds
+        from a contiguous slice.  Mutually exclusive with ``path``.
+    path, width:
+        Binary edge file ingested through the striped reader.
+    partition:
+        ``"vblock"``, ``"eblock"`` or ``"rand"`` — as in the CLI.
+    checkpoint:
+        Directory to load the graph from (skips construction) when it
+        contains a matching checkpoint; otherwise the graph is built from
+        the input source.
+    save_checkpoint:
+        Directory to write the freshly built graph to (for later reloads).
+    max_pending, batch_window, max_batch:
+        Scheduler admission bound and coalescing window.
+    cache_capacity:
+        LRU result-cache capacity (0 disables caching).
+    default_timeout:
+        Per-job timeout in seconds when a submission does not set one.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        edges: np.ndarray | None = None,
+        n: int | None = None,
+        path: str | Path | None = None,
+        width: int = 32,
+        partition: str = "vblock",
+        seed: int = 7,
+        checkpoint: str | Path | None = None,
+        save_checkpoint: str | Path | None = None,
+        max_pending: int = 64,
+        batch_window: float = 0.02,
+        max_batch: int = 16,
+        cache_capacity: int = 128,
+        default_timeout: float | None = 60.0,
+        build_timeout: float | None = 300.0,
+    ):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if (edges is None) == (path is None):
+            raise ValueError("provide exactly one of edges= or path=")
+        if edges is not None and n is None:
+            raise ValueError("n= is required with edges=")
+        if partition not in ("vblock", "eblock", "rand"):
+            raise ValueError(f"unknown partition kind {partition!r}")
+        self.nranks = nranks
+        self.partition_kind = partition
+        self.default_timeout = default_timeout
+        self._closed = False
+        self._paused = False
+        self._lock = threading.Lock()
+        self._t_start = time.perf_counter()
+
+        self.cache = ResultCache(cache_capacity)
+        self.scheduler = JobScheduler(max_pending=max_pending,
+                                      batch_window=batch_window,
+                                      max_batch=max_batch)
+        self._jobs: dict[int, Job] = {}
+        self._next_id = 0
+        self._counters = {
+            "submitted": 0, "completed": 0, "failed": 0, "cache_hits": 0,
+            "batches": 0, "batched_jobs": 0, "max_batch_size": 0,
+        }
+        self._comm_totals = {
+            "bytes_sent": 0, "bytes_recv": 0, "msg_count": 0,
+            "n_collectives": 0, "compute_s": 0.0, "idle_s": 0.0,
+            "comm_s": 0.0,
+        }
+
+        # Persistent rank world: one command queue + thread per rank.
+        self._cmd_queues: list[queue.Queue] = [queue.Queue()
+                                               for _ in range(nranks)]
+        self._states: list[dict] = [{} for _ in range(nranks)]
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(r,),
+                             name=f"engine-rank-{r}", daemon=True)
+            for r in range(nranks)
+        ]
+        for t in self._workers:
+            t.start()
+
+        # Build (or load) the resident graph exactly once.
+        build = self._make_build_fn(
+            edges=edges, n=n, path=path, width=width, seed=seed,
+            checkpoint=checkpoint, save_checkpoint=save_checkpoint)
+        results, errors = self._run_collective(build, build_timeout)
+        if errors:
+            self.shutdown()
+            raise JobFailedError("graph construction failed") \
+                from _first_error(errors)
+        self.n_global, self.m_global, self.fingerprint, self.built_from = \
+            results[0]
+
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="engine-dispatch", daemon=True)
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _make_build_fn(self, *, edges, n, path, width, seed,
+                       checkpoint, save_checkpoint):
+        kind = self.partition_kind
+        ckpt = Path(checkpoint) if checkpoint is not None else None
+        save = Path(save_checkpoint) if save_checkpoint is not None else None
+
+        def build(comm: Communicator, state: dict):
+            with comm.region("engine.build"):
+                if edges is not None:
+                    chunk = np.array_split(edges, comm.size)[comm.rank]
+                    n_glob = n
+                else:
+                    from ..io import count_edges, read_edge_range, striped_read
+
+                    m = count_edges(path, width=width)
+                    n_glob = 0
+                    for lo in range(0, m, 1 << 20):
+                        c = read_edge_range(path, lo, min(1 << 20, m - lo),
+                                            width=width)
+                        n_glob = max(n_glob,
+                                     int(c.max()) + 1 if len(c) else 0)
+                    chunk, _ = striped_read(comm, path, width=width)
+                if kind == "vblock":
+                    part = VertexBlockPartition(n_glob, comm.size)
+                elif kind == "eblock":
+                    part = EdgeBlockPartition.from_edge_chunks(
+                        comm, chunk[:, 0], n_glob)
+                else:
+                    part = RandomHashPartition(n_glob, comm.size, seed=seed)
+
+                loaded = False
+                if ckpt is not None:
+                    from ..io.checkpoint import load_graph
+
+                    have = (ckpt / f"rank{comm.rank:05d}.npz").exists()
+                    if comm.allreduce(have, LAND):
+                        g = load_graph(comm, ckpt, part)
+                        loaded = True
+                if not loaded:
+                    g = build_dist_graph(comm, chunk, part)
+                    if save is not None:
+                        from ..io.checkpoint import save_graph
+
+                        save_graph(comm, g, save)
+                state["graph"] = g
+
+                # Content fingerprint: per-rank CRCs of the local structure,
+                # gathered and hashed on rank 0 (keys every cache entry).
+                crc = zlib.crc32(g.out_edges.tobytes())
+                crc = zlib.crc32(g.unmap.tobytes(), crc)
+                crcs = comm.gather(crc, root=0)
+                if comm.rank:
+                    return None
+                h = hashlib.sha1(
+                    f"{g.n_global}:{g.m_global}:{kind}:{comm.size}:"
+                    f"{crcs}".encode()).hexdigest()[:16]
+                return (g.n_global, g.m_global, h,
+                        "checkpoint" if loaded else "build")
+
+        return build
+
+    # ------------------------------------------------------------------
+    # worker / dispatch plumbing
+    # ------------------------------------------------------------------
+    def _worker_loop(self, rank: int) -> None:
+        q = self._cmd_queues[rank]
+        state = self._states[rank]
+        while True:
+            cmd = q.get()
+            if cmd is None:
+                return
+            comm, fn, report = cmd
+            try:
+                result = fn(comm, state)
+            except BaseException as exc:  # noqa: BLE001 - isolate the job
+                comm.abort(f"rank {rank} failed: "
+                           f"{type(exc).__name__}: {exc}")
+                report.report(rank, error=exc)
+            else:
+                report.report(rank, result=result)
+
+    def _run_collective(self, fn, timeout: float | None
+                        ) -> tuple[list[Any], dict[int, BaseException]]:
+        """Run ``fn(comm, state)`` once per rank over a fresh world."""
+        world = World(self.nranks, timeout=timeout)
+        comms = [Communicator(world, r) for r in range(self.nranks)]
+        report = _RankReport(self.nranks)
+        for r in range(self.nranks):
+            self._cmd_queues[r].put((comms[r], fn, report))
+        timed_out = False
+        if not report.all_done.wait(timeout):
+            timed_out = True
+            world.abort("job timeout (driver)")
+            # Ranks unblock at their next collective; analytics synchronize
+            # every iteration/level, so this wait is short.
+            report.all_done.wait()
+        for c in comms:
+            s = c.trace.summary()
+            for key in self._comm_totals:
+                self._comm_totals[key] += s[key]
+        errors = dict(report.errors)
+        if timed_out:
+            errors[-1] = JobTimeoutError(
+                f"job exceeded its {timeout}s timeout")
+        return report.results, errors
+
+    def _dispatch_loop(self) -> None:
+        while not self._closed:
+            if self._paused:
+                time.sleep(0.005)
+                continue
+            batch = self.scheduler.next_batch(poll_timeout=0.05)
+            if not batch:
+                continue
+            try:
+                self._execute_batch(batch)
+            except Exception as exc:  # pragma: no cover - defensive
+                for job in batch:
+                    job.finish(error=JobFailedError(
+                        f"dispatch error: {exc}"))
+
+    def _execute_batch(self, batch: list[Job]) -> None:
+        spec = _KINDS[batch[0].kind]
+        if spec.cacheable:
+            # Re-check the cache at dispatch time: an identical query may
+            # have completed between this job's submission and now (burst
+            # submissions of duplicates would otherwise all miss).
+            remaining = []
+            for job in batch:
+                hit, value = self.cache.get(
+                    cache_key(self.fingerprint, job.kind, job.params))
+                if hit:
+                    with self._lock:
+                        self._counters["cache_hits"] += 1
+                        self._counters["completed"] += 1
+                    job.cached = True
+                    job.finish(result=value)
+                else:
+                    remaining.append(job)
+            batch = remaining
+            if not batch:
+                return
+        timeouts = [j.timeout if j.timeout is not None
+                    else self.default_timeout for j in batch]
+        timeout = None if any(t is None for t in timeouts) else max(timeouts)
+        with self._lock:
+            self._counters["batches"] += 1
+            self._counters["max_batch_size"] = max(
+                self._counters["max_batch_size"], len(batch))
+            if len(batch) > 1:
+                self._counters["batched_jobs"] += len(batch)
+        fn = spec.make_fn(self, batch)
+        results, errors = self._run_collective(fn, timeout)
+        if errors:
+            cause = errors.get(-1) or _first_error(errors)
+            with self._lock:
+                self._counters["failed"] += len(batch)
+            for job in batch:
+                if isinstance(cause, JobTimeoutError):
+                    err: JobFailedError = cause
+                else:
+                    err = JobFailedError(
+                        f"job {job.id} ({job.kind}) failed: "
+                        f"{type(cause).__name__}: {cause}")
+                    err.__cause__ = cause
+                job.finish(error=err)
+            return
+        per_job = spec.split(batch, results[0])
+        with self._lock:
+            self._counters["completed"] += len(batch)
+        for job, res in zip(batch, per_job):
+            if spec.cacheable:
+                self.cache.put(
+                    cache_key(self.fingerprint, job.kind, job.params), res)
+            job.finish(result=res)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, *, timeout: float | None = None,
+               **params: Any) -> int:
+        """Queue one query; returns a job id for :meth:`result`.
+
+        Raises
+        ------
+        AdmissionError
+            When the pending queue is at its admission bound.
+        EngineClosedError
+            After :meth:`shutdown`.
+        """
+        if self._closed:
+            raise EngineClosedError("engine has been shut down")
+        spec = _KINDS.get(kind)
+        if spec is None:
+            raise ValueError(
+                f"unknown analytic kind {kind!r}; serving {SERVING_KINDS}")
+        with self._lock:
+            job_id = self._next_id
+            self._next_id += 1
+            self._counters["submitted"] += 1
+        batch_key = None
+        if spec.batch_params is not None:
+            batch_key = (kind,) + tuple(
+                (p, params.get(p)) for p in spec.batch_params)
+        job = Job(id=job_id, kind=kind, params=dict(params),
+                  batch_key=batch_key, timeout=timeout)
+        if spec.cacheable:
+            hit, value = self.cache.get(
+                cache_key(self.fingerprint, kind, params))
+            if hit:
+                with self._lock:
+                    self._counters["cache_hits"] += 1
+                    self._counters["completed"] += 1
+                job.cached = True
+                job.finish(result=value)
+                self._jobs[job_id] = job
+                return job_id
+        try:
+            self._jobs[job_id] = job
+            self.scheduler.submit(job)
+        except AdmissionError:
+            with self._lock:
+                self._counters["submitted"] -= 1
+            del self._jobs[job_id]
+            raise
+        return job_id
+
+    def result(self, job_id: int, timeout: float | None = None) -> Any:
+        """Block for a job's result (pops it); raises its failure if any."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown or already-retrieved job {job_id}")
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"job {job_id} still pending after {timeout}s")
+        del self._jobs[job_id]
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    def job(self, job_id: int) -> Job:
+        """Peek at a job's state without consuming it."""
+        return self._jobs[job_id]
+
+    def query(self, kind: str, *, timeout: float | None = None,
+              **params: Any) -> Any:
+        """Synchronous convenience: :meth:`submit` + :meth:`result`."""
+        return self.result(self.submit(kind, timeout=timeout, **params))
+
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop dispatching (queued jobs accumulate; used for batch demos)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    def status(self) -> dict[str, Any]:
+        """Machine-readable serving status (counters, cache, comm stats)."""
+        with self._lock:
+            counters = dict(self._counters)
+            comm = dict(self._comm_totals)
+        return {
+            "nranks": self.nranks,
+            "n_global": self.n_global,
+            "m_global": self.m_global,
+            "partition": self.partition_kind,
+            "fingerprint": self.fingerprint,
+            "built_from": self.built_from,
+            "uptime_s": time.perf_counter() - self._t_start,
+            "pending": self.scheduler.pending(),
+            "max_pending": self.scheduler.max_pending,
+            "jobs": counters,
+            "cache": self.cache.stats(),
+            "comm": comm,
+        }
+
+    def shutdown(self) -> None:
+        """Drain the queue, fail pending jobs, and join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        for job in self.scheduler.drain():
+            job.finish(error=EngineClosedError("engine shut down"))
+        if hasattr(self, "_dispatcher"):
+            self._dispatcher.join(timeout=10.0)
+        for q in self._cmd_queues:
+            q.put(None)
+        for t in self._workers:
+            t.join(timeout=10.0)
+
+    def __enter__(self) -> "AnalyticsEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _first_error(errors: dict[int, BaseException]) -> BaseException:
+    real = {r: e for r, e in errors.items()
+            if not isinstance(e, RankAborted)}
+    chosen = real or errors
+    return chosen[min(chosen)]

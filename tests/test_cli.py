@@ -86,3 +86,55 @@ def test_analyze_all(binfile, capsys):
 def test_bad_command_exits_nonzero():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
+
+
+def test_analyze_checkpoint_roundtrip(binfile, tmp_path, capsys):
+    path, _ = binfile
+    ckpt = tmp_path / "ckpt"
+    rc = main(["analyze", str(path), "--ranks", "2", "--analytics", "wcc",
+               "--save-checkpoint", str(ckpt)])
+    assert rc == 0
+    first = capsys.readouterr().out
+    assert "graph built" in first
+    assert any(ckpt.glob("rank*.npz"))
+    rc = main(["analyze", str(path), "--ranks", "2", "--analytics", "wcc",
+               "--checkpoint", str(ckpt)])
+    assert rc == 0
+    second = capsys.readouterr().out
+    assert "graph checkpoint" in second
+    # Same analytics output either way (modulo timings).
+    assert [ln.split()[-1] for ln in first.splitlines() if "giant=" in ln] \
+        == [ln.split()[-1] for ln in second.splitlines() if "giant=" in ln]
+
+
+def test_serve_default_workload(binfile, capsys):
+    path, _ = binfile
+    rc = main(["serve", str(path), "--ranks", "2", "--repeat", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "engine up" in out
+    assert "[cache]" in out  # second repeat of each query hits the cache
+    assert "jobs:" in out and "cache:" in out
+
+
+def test_serve_query_file(binfile, tmp_path, capsys):
+    path, _ = binfile
+    qfile = tmp_path / "q.txt"
+    qfile.write_text(
+        "# comment\n"
+        "bfs 3\n"
+        "bfs 9 direction=in\n"
+        "pagerank max_iters=4\n"
+        "ppr 7 max_iters=5\n"
+        "closeness 2\n"
+        "wcc\n")
+    rc = main(["serve", str(path), "--ranks", "2",
+               "--queries", str(qfile), "--status-json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("ran]") + out.count("cache]") == 6
+    import json
+
+    status = json.loads(out[out.index("{"):])
+    assert status["jobs"]["completed"] == 6
+    assert status["comm"]["n_collectives"] > 0

@@ -90,3 +90,38 @@ def test_trace_reset():
     assert len(t.events) == 1
     t.reset()
     assert len(t.events) == 0 and t.compute_s == 0.0
+
+
+def test_to_json_roundtrip():
+    import json
+
+    def job(c):
+        with c.region("pr"):
+            c.allreduce(np.arange(8), SUM)
+        c.barrier()
+
+    run_spmd(2, job)
+    t = spmd_traces()[0]
+    doc = json.loads(t.to_json())
+    assert doc["summary"] == t.summary()
+    assert set(doc["regions"]) == {"pr", ""}
+    assert doc["regions"]["pr"]["n_collectives"] == 1
+    assert "events" not in doc
+    full = json.loads(t.to_json(include_events=True, indent=2))
+    assert len(full["events"]) == len(t.events)
+    assert full["events"][0]["region"] == "pr"
+
+
+def test_aggregate_summaries_folds_ranks():
+    from repro.runtime import aggregate_summaries
+
+    run_spmd(3, lambda c: c.allreduce(np.arange(4), SUM))
+    traces = spmd_traces()
+    agg = aggregate_summaries(traces)
+    assert agg["n_ranks"] == 3
+    assert agg["bytes_sent"] == sum(t.bytes_sent for t in traces)
+    assert agg["n_collectives"] == 3
+    # Seconds fields are critical-path maxima, not sums.
+    assert agg["idle_s"] == max(t.idle_s for t in traces)
+    # Accepts pre-computed summary dicts too.
+    assert aggregate_summaries([t.summary() for t in traces]) == agg
