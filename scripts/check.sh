@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Repository health check: lint (when ruff is available) + the tier-1 suite.
+# Repository health check: lint (when ruff is available), the spmdlint SPMD
+# correctness pass (including its seeded-violation fixture corpus), and the
+# tier-1 suite.
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
@@ -13,5 +15,23 @@ else
     echo "== ruff not installed; skipping lint (pip install -e '.[dev]') =="
 fi
 
-echo "== pytest (tier 1) =="
+echo "== spmdlint (strict) =="
+PYTHONPATH=src python -m repro check src/repro --strict
+
+echo "== spmdlint fixture corpus =="
+for fixture in tests/fixtures/spmdlint/bad_spmd*.py; do
+    if PYTHONPATH=src python -m repro check "$fixture" --strict >/dev/null; then
+        echo "FAIL: seeded violation not detected in $fixture" >&2
+        exit 1
+    fi
+    echo "ok: $fixture fires"
+done
+if ! PYTHONPATH=src python -m repro check tests/fixtures/spmdlint/clean.py \
+        --strict >/dev/null; then
+    echo "FAIL: false positive on tests/fixtures/spmdlint/clean.py" >&2
+    exit 1
+fi
+echo "ok: clean.py passes"
+
+echo "== pytest (tier 1, collective-schedule verifier on) =="
 PYTHONPATH=src python -m pytest -x -q "$@"

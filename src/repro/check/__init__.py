@@ -1,0 +1,37 @@
+"""Static SPMD correctness analysis ("spmdlint").
+
+The runtime's one load-bearing invariant — every rank of a world calls the
+same sequence of collectives with compatible arguments — is enforced two
+ways: dynamically by the schedule verifier in :mod:`repro.runtime.comm`
+(``REPRO_VERIFY_COLLECTIVES=1``), and statically by this package, which
+walks Python sources with :mod:`ast` and flags collective call sites whose
+*schedule* can diverge across ranks before any code runs.
+
+Rules (each suppressible with ``# spmdlint: disable=SPMDxxx``):
+
+========  ==================================================================
+SPMD001   collectives differ between the arms of a rank-dependent branch
+SPMD002   conditional early exit (return/raise/continue/break) under a
+          rank-dependent or rank-local condition skips later collectives
+SPMD003   collective inside a loop whose trip count is not derived from a
+          replicated value (allreduce/bcast result, argument, constant)
+SPMD004   object-pickling collective on a hot path (inside a loop) where a
+          buffer collective exists
+SPMD005   reduction input built from unordered set iteration
+          (non-deterministic ordering across ranks)
+========  ==================================================================
+
+Use :func:`lint_paths` / :func:`lint_source` programmatically, or the CLI::
+
+    python -m repro check src/repro --strict --format json
+"""
+
+from .spmdlint import (
+    RULES,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = ["Finding", "RULES", "lint_source", "lint_file", "lint_paths"]

@@ -1,0 +1,687 @@
+"""AST-based SPMD collective-schedule linter.
+
+Model
+-----
+The analyzer treats every function that issues a collective — a call
+``X.<op>(...)`` whose receiver's final identifier contains ``comm`` — as an
+SPMD function, and classifies every expression into a three-level lattice:
+
+``REPLICATED``
+    provably identical on all ranks under the codebase's conventions:
+    constants, function arguments (``run_spmd`` passes the same arguments
+    to every rank), module-level names, and the results of uniform-result
+    collectives (``allreduce``, ``bcast``, ``allgather``, ``allgatherv``);
+``RANK_LOCAL``
+    potentially different per rank: results of per-rank collectives
+    (``alltoallv``, ``gather``, ``scan``, …) and anything derived from them;
+``RANK_DEPENDENT``
+    explicitly keyed on the rank id (``comm.rank`` or any ``.rank``
+    attribute) and anything derived from it.
+
+The heuristic is deliberately precision-first (a lint finding should almost
+always be real): attributes of parameters (``g.n_global``) are assumed
+replicated, so rank-locality enters only through ``comm.rank`` and the
+per-rank collectives.  Calls that *forward* the communicator
+(``helper(comm, …)``) count as collective sites for schedule purposes.
+
+Findings carry a rule id, a precise ``path:line:col`` span, and honor
+``# spmdlint: disable[=SPMD001[,SPMD002]]`` on the flagged line (or
+``# spmdlint: disable-file`` anywhere in the file).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["Finding", "RULES", "lint_source", "lint_file", "lint_paths",
+           "render_text", "render_json"]
+
+# ---------------------------------------------------------------------------
+# rule catalog
+# ---------------------------------------------------------------------------
+RULES: dict[str, str] = {
+    "SPMD001": "rank-divergent collective: the arms of a rank-dependent "
+               "branch issue different collectives",
+    "SPMD002": "conditional early exit (return/raise/continue/break) under "
+               "a rank-dependent or rank-local condition skips later "
+               "collectives",
+    "SPMD003": "collective inside a loop whose trip count is not derived "
+               "from a replicated value (allreduce/bcast result, argument, "
+               "or constant)",
+    "SPMD004": "object-pickling collective on a hot path (inside a loop) "
+               "where a buffer collective exists",
+    "SPMD005": "reduction input built from unordered set iteration "
+               "(ordering is not deterministic across ranks)",
+}
+
+#: Collective method names recognized on a communicator receiver.
+COLLECTIVES = frozenset({
+    "barrier", "bcast", "gather", "allgather", "scatter", "alltoall",
+    "allreduce", "reduce", "scan", "exscan", "allgatherv", "gatherv",
+    "reduce_scatter", "alltoallv", "split",
+})
+
+#: Collectives whose result is identical on every rank.
+UNIFORM_RESULT = frozenset(
+    {"allreduce", "bcast", "allgather", "allgatherv", "barrier"})
+
+#: Object (pickling) collectives and their buffer replacements.
+BUFFER_ALTERNATIVE = {
+    "gather": "gatherv",
+    "allgather": "allgatherv",
+    "alltoall": "alltoallv",
+    "bcast": "allgatherv (all ranks contribute, non-roots an empty buffer)",
+}
+
+#: Reduction collectives (checked by SPMD005).
+REDUCTIONS = frozenset(
+    {"allreduce", "reduce", "reduce_scatter", "scan", "exscan"})
+
+# Expression classification lattice.
+REPLICATED, RANK_LOCAL, RANK_DEPENDENT = 0, 1, 2
+
+
+@dataclass
+class Finding:
+    """One lint finding (or suppressed would-be finding)."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    function: str = "<module>"
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.function}] {self.message}{tag}")
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+# ---------------------------------------------------------------------------
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*spmdlint:\s*disable-file(?:=(?P<rules>[A-Za-z0-9_, ]+))?")
+_DISABLE_RE = re.compile(
+    r"#\s*spmdlint:\s*disable(?!-)(?:=(?P<rules>[A-Za-z0-9_, ]+))?")
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-wide suppression sets ("ALL" disables every rule)."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "spmdlint" not in line:
+            continue
+        m = _DISABLE_FILE_RE.search(line)
+        if m:
+            rules = m.group("rules")
+            file_wide |= ({r.strip() for r in rules.split(",") if r.strip()}
+                          if rules else {"ALL"})
+            continue
+        m = _DISABLE_RE.search(line)
+        if m:
+            rules = m.group("rules")
+            per_line[lineno] = ({r.strip() for r in rules.split(",")
+                                 if r.strip()} if rules else {"ALL"})
+    return per_line, file_wide
+
+
+# ---------------------------------------------------------------------------
+# collective-site recognition
+# ---------------------------------------------------------------------------
+def _final_identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_comm_expr(node: ast.expr) -> bool:
+    ident = _final_identifier(node)
+    return ident is not None and "comm" in ident.lower()
+
+
+def _collective_op(call: ast.Call) -> str | None:
+    """Name of the collective when ``call`` is ``<comm>.{op}(...)``."""
+    fn = call.func
+    if (isinstance(fn, ast.Attribute) and fn.attr in COLLECTIVES
+            and _is_comm_expr(fn.value)):
+        return fn.attr
+    return None
+
+
+def _forwards_comm(call: ast.Call) -> bool:
+    """True when the call passes a communicator onward (indirect site)."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if isinstance(arg, ast.Name) and "comm" in arg.id.lower():
+            return True
+    return False
+
+
+def _site_label(call: ast.Call) -> str | None:
+    """Schedule label of a call: a collective op or a comm-forwarding call."""
+    op = _collective_op(call)
+    if op is not None:
+        return op
+    if _forwards_comm(call):
+        ident = _final_identifier(call.func)
+        return f"call:{ident or '<dynamic>'}"
+    return None
+
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+
+
+def _walk_in_scope(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a subtree without descending into nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_BARRIERS):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _sites_in(node: ast.AST) -> list[tuple[str, ast.Call]]:
+    """All collective sites (direct and indirect) inside one scope subtree."""
+    out = []
+    for child in _walk_in_scope(node):
+        if isinstance(child, ast.Call):
+            label = _site_label(child)
+            if label is not None:
+                out.append((label, child))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# replication classification
+# ---------------------------------------------------------------------------
+class _Env:
+    """Name -> lattice level for one function scope (default: replicated)."""
+
+    def __init__(self, params: Sequence[str]):
+        self.levels: dict[str, int] = {}
+        for p in params:
+            # A parameter literally named "rank" carries the rank id.
+            self.levels[p] = RANK_DEPENDENT if p == "rank" else REPLICATED
+
+    def get(self, name: str) -> int:
+        return self.levels.get(name, REPLICATED)
+
+    def join(self, name: str, level: int) -> None:
+        self.levels[name] = max(self.levels.get(name, REPLICATED), level)
+
+
+def _classify(node: ast.AST | None, env: _Env) -> int:
+    """Lattice level of an expression (monotone max over sub-expressions)."""
+    if node is None:
+        return REPLICATED
+    if isinstance(node, ast.Constant):
+        return REPLICATED
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Attribute):
+        if node.attr == "rank":
+            return RANK_DEPENDENT
+        if node.attr == "size" and _is_comm_expr(node.value):
+            return REPLICATED
+        return _classify(node.value, env)
+    if isinstance(node, ast.Call):
+        op = _collective_op(node)
+        if op is not None:
+            # Replicated results stay replicated regardless of their inputs.
+            return (REPLICATED if op in UNIFORM_RESULT else RANK_LOCAL)
+        level = _classify(node.func, env)
+        for arg in node.args:
+            level = max(level, _classify(arg, env))
+        for kw in node.keywords:
+            level = max(level, _classify(kw.value, env))
+        return level
+    if isinstance(node, ast.Lambda):
+        return REPLICATED
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                         ast.DictComp)):
+        level = REPLICATED
+        for gen in node.generators:
+            it_level = _classify(gen.iter, env)
+            level = max(level, it_level)
+            for name in _target_names(gen.target):
+                env.join(name, it_level)
+            for cond in gen.ifs:
+                level = max(level, _classify(cond, env))
+        if isinstance(node, ast.DictComp):
+            level = max(level, _classify(node.key, env),
+                        _classify(node.value, env))
+        else:
+            level = max(level, _classify(node.elt, env))
+        return level
+    if isinstance(node, ast.NamedExpr):
+        level = _classify(node.value, env)
+        for name in _target_names(node.target):
+            env.join(name, level)
+        return level
+    level = REPLICATED
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.expr, ast.keyword)):
+            level = max(level, _classify(child, env))
+    return level
+
+
+def _target_names(target: ast.AST) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []  # subscript/attribute stores do not (re)bind a name
+
+
+def _infer_env(fn: ast.AST, params: Sequence[str]) -> _Env:
+    """Fixpoint pass over assignments so taint flows through name chains."""
+    env = _Env(params)
+    for _ in range(8):
+        before = dict(env.levels)
+        for node in _walk_in_scope(fn):
+            if isinstance(node, ast.Assign):
+                level = _classify(node.value, env)
+                for tgt in node.targets:
+                    for name in _target_names(tgt):
+                        env.join(name, level)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                level = _classify(node.value, env)
+                for name in _target_names(node.target):
+                    env.join(name, level)
+            elif isinstance(node, ast.AugAssign):
+                level = _classify(node.value, env)
+                for name in _target_names(node.target):
+                    env.join(name, level)
+            elif isinstance(node, ast.For):
+                level = _classify(node.iter, env)
+                for name in _target_names(node.target):
+                    env.join(name, level)
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None:
+                    level = _classify(node.context_expr, env)
+                    for name in _target_names(node.optional_vars):
+                        env.join(name, level)
+        if env.levels == before:
+            break
+    return env
+
+
+# ---------------------------------------------------------------------------
+# the analyzer
+# ---------------------------------------------------------------------------
+class _FunctionLinter:
+    """Applies every rule to one function scope."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                 path: str, select: frozenset[str]):
+        self.fn = fn
+        self.path = path
+        self.select = select
+        args = fn.args
+        params = [a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        self.env = _infer_env(fn, params)
+        self.sites = _sites_in(fn)
+        self.set_names = self._infer_set_names(fn)
+        self.findings: list[Finding] = []
+
+    def _infer_set_names(self, fn: ast.AST) -> set[str]:
+        """Names bound (directly or transitively) to unordered sets."""
+        names: set[str] = set()
+        for _ in range(4):
+            before = len(names)
+            for node in _walk_in_scope(fn):
+                if (isinstance(node, ast.Assign)
+                        and self._has_unordered_input(node.value, names)):
+                    for tgt in node.targets:
+                        names.update(_target_names(tgt))
+                elif (isinstance(node, ast.AnnAssign)
+                        and node.value is not None
+                        and self._has_unordered_input(node.value, names)):
+                    names.update(_target_names(node.target))
+            if len(names) == before:
+                break
+        return names
+
+    def run(self) -> list[Finding]:
+        if not self.sites:
+            return []  # not an SPMD function: no collectives at all
+        self._visit_block(self.fn.body, loops=[], cond=None)
+        return self.findings
+
+    # -- helpers -----------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule not in self.select:
+            return
+        self.findings.append(Finding(
+            rule=rule, message=message, path=self.path,
+            line=node.lineno, col=node.col_offset + 1,
+            function=self.fn.name))
+
+    def _sites_after(self, node: ast.stmt) -> list[str]:
+        end = getattr(node, "end_lineno", node.lineno)
+        return [label for label, call in self.sites if call.lineno > end]
+
+    def _level(self, expr: ast.AST) -> int:
+        return _classify(expr, self.env)
+
+    # -- statement walk ----------------------------------------------------
+    # ``cond`` carries the strongest divergent guard enclosing the current
+    # statement ("rank-dependent" > "rank-local" > None); Continue/Break are
+    # checked here, in the main walk, so they bind to the *innermost* loop.
+    def _visit_block(self, body: Sequence[ast.stmt], loops: list[ast.stmt],
+                     cond: str | None) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, loops, cond)
+
+    def _visit_stmt(self, stmt: ast.stmt, loops: list[ast.stmt],
+                    cond: str | None) -> None:
+        if isinstance(stmt, _SCOPE_BARRIERS):
+            return  # nested scopes are linted as their own functions
+        if isinstance(stmt, ast.If):
+            level = self._level(stmt.test)
+            self._check_branch(stmt, level)
+            inner = cond
+            if level == RANK_DEPENDENT:
+                inner = "rank-dependent"
+            elif level == RANK_LOCAL and cond != "rank-dependent":
+                inner = "rank-local"
+            self._visit_block(stmt.body, loops, inner)
+            self._visit_block(stmt.orelse, loops, inner)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            self._check_loop(stmt)
+            self._visit_block(stmt.body, loops + [stmt], cond)
+            self._visit_block(stmt.orelse, loops, cond)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            if cond is not None:
+                self._check_early_exit(stmt, cond)
+        elif isinstance(stmt, (ast.Continue, ast.Break)):
+            if cond is not None and loops:
+                self._check_loop_exit(stmt, cond, loops[-1])
+        elif isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body, loops, cond)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body, loops, cond)
+            self._visit_block(stmt.orelse, loops, cond)
+            self._visit_block(stmt.finalbody, loops, cond)
+        elif isinstance(stmt, ast.With):
+            self._visit_block(stmt.body, loops, cond)
+        # expression-level rules apply to every statement uniformly
+        self._check_calls(stmt, loops)
+
+    # -- SPMD001 -----------------------------------------------------------
+    def _check_branch(self, stmt: ast.If, level: int) -> None:
+        if level != RANK_DEPENDENT:
+            return
+        body_ops = Counter(
+            label for s in stmt.body for label, _ in _sites_in(s))
+        else_ops = Counter(
+            label for s in stmt.orelse for label, _ in _sites_in(s))
+        if body_ops != else_ops:
+            diff = sorted((body_ops - else_ops) + (else_ops - body_ops))
+            self._emit(
+                "SPMD001", stmt,
+                f"rank-dependent branch issues unmatched collectives "
+                f"({', '.join(diff)}): every rank must run the same "
+                f"schedule on both arms")
+
+    # -- SPMD002 -----------------------------------------------------------
+    def _check_early_exit(self, stmt: ast.stmt, cond: str) -> None:
+        later = self._sites_after(stmt)
+        if later:
+            kind = "return" if isinstance(stmt, ast.Return) else "raise"
+            self._emit(
+                "SPMD002", stmt,
+                f"early {kind} under a {cond} condition skips "
+                f"{len(later)} later collective(s) "
+                f"({', '.join(sorted(set(later))[:4])}): ranks that "
+                f"exit here desynchronize the schedule")
+
+    def _check_loop_exit(self, stmt: ast.stmt, cond: str,
+                         loop: ast.stmt) -> None:
+        loop_sites = [(label, call) for s in loop.body
+                      for label, call in _sites_in(s)]
+        if isinstance(stmt, ast.Continue):
+            relevant = [label for label, call in loop_sites
+                        if call.lineno > stmt.lineno]
+            what = "collective(s) later in the loop body"
+        else:
+            relevant = [label for label, _ in loop_sites]
+            what = "collective(s) in the loop body"
+        if relevant:
+            kw = "continue" if isinstance(stmt, ast.Continue) else "break"
+            self._emit(
+                "SPMD002", stmt,
+                f"'{kw}' under a {cond} condition skips "
+                f"{len(relevant)} {what} "
+                f"({', '.join(sorted(set(relevant))[:4])})")
+
+    # -- SPMD003 -----------------------------------------------------------
+    def _check_loop(self, stmt: ast.While | ast.For) -> None:
+        loop_sites = [label for s in stmt.body for label, _ in _sites_in(s)]
+        if not loop_sites:
+            return
+        driver = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        level = self._loop_driver_level(driver, stmt)
+        if level >= RANK_LOCAL:
+            kind = "condition" if isinstance(stmt, ast.While) else "iterable"
+            self._emit(
+                "SPMD003", stmt,
+                f"loop {kind} is not replicated across ranks but the body "
+                f"issues collectives ({', '.join(sorted(set(loop_sites))[:4])}"
+                f"): derive the trip count from an allreduce/bcast so every "
+                f"rank runs the same number of iterations")
+
+    def _loop_driver_level(self, driver: ast.expr,
+                           loop: ast.While | ast.For) -> int:
+        """Flow-refined level of a loop condition/iterable.
+
+        The monotone environment joins every assignment a name ever
+        receives, which over-taints the standard refresh idiom::
+
+            total = <local accumulation>          # rank-local
+            ...
+            total = comm.allreduce(total, SUM)    # replicated again
+            while total > 0: ...
+
+        A ``while`` test is re-evaluated after each body execution, so the
+        level that matters is the *last* assignment in the body (falling
+        back to the last one before the loop).  A ``for`` iterable is
+        evaluated once, so only pre-loop assignments count.  The lexically
+        last assignment is a heuristic (a conditional reassignment could be
+        skipped at runtime) — acceptable for a precision-first linter.
+        """
+        refined = _Env([])
+        refined.levels = dict(self.env.levels)
+        names = {n.id for n in ast.walk(driver) if isinstance(n, ast.Name)}
+        for name in names:
+            last: tuple[tuple[int, int], int] | None = None  # ((pri, line), lvl)
+            for node in _walk_in_scope(self.fn):
+                end = getattr(node, "end_lineno", None)
+                if end is None:
+                    continue
+                in_body = node.lineno > loop.lineno and end <= (
+                    getattr(loop, "end_lineno", loop.lineno))
+                before = end < loop.lineno
+                use_body = isinstance(loop, ast.While)
+                if not (before or (use_body and in_body)):
+                    continue
+                bound, level = self._binding_level(node, name)
+                if not bound:
+                    continue
+                # Body assignments dominate pre-loop ones for while tests.
+                key = (1 if (use_body and in_body) else 0, end)
+                if last is None or key > last[0]:
+                    last = (key, level)
+            if last is not None:
+                refined.levels[name] = last[1]
+        return _classify(driver, refined)
+
+    def _binding_level(self, node: ast.AST, name: str) -> tuple[bool, int]:
+        """Does ``node`` (re)bind ``name``, and to what lattice level?"""
+        if isinstance(node, ast.Assign):
+            if any(name in _target_names(t) for t in node.targets):
+                return True, _classify(node.value, self.env)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if name in _target_names(node.target):
+                return True, _classify(node.value, self.env)
+        elif isinstance(node, ast.AugAssign):
+            if name in _target_names(node.target):
+                # x += rhs depends on the previous x: stay conservative.
+                return True, max(_classify(node.value, self.env),
+                                 self.env.get(name))
+        elif isinstance(node, ast.For):
+            if name in _target_names(node.target):
+                return True, _classify(node.iter, self.env)
+        return False, REPLICATED
+
+    # -- SPMD004 + SPMD005 -------------------------------------------------
+    def _check_calls(self, stmt: ast.stmt, loops: list[ast.stmt]) -> None:
+        # Only inspect calls attached directly to this statement, not ones
+        # nested in child blocks (those are visited with their own stmt).
+        for node in self._direct_exprs(stmt):
+            for call in [c for c in ast.walk(node)
+                         if isinstance(c, ast.Call)]:
+                op = _collective_op(call)
+                if op is None:
+                    continue
+                if loops and op in BUFFER_ALTERNATIVE:
+                    self._emit(
+                        "SPMD004", call,
+                        f"object-pickling collective '{op}' inside a loop "
+                        f"serializes per call; use the buffer collective "
+                        f"'{BUFFER_ALTERNATIVE[op]}' on this hot path")
+                if op in REDUCTIONS and call.args:
+                    if self._has_unordered_input(call.args[0],
+                                                 self.set_names):
+                        self._emit(
+                            "SPMD005", call,
+                            f"reduction '{op}' input iterates an unordered "
+                            f"set; ordering differs across ranks, making "
+                            f"the reduction non-deterministic — sort first")
+
+    def _direct_exprs(self, stmt: ast.stmt) -> list[ast.expr]:
+        out: list[ast.expr] = []
+        for fname, value in ast.iter_fields(stmt):
+            if fname in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.expr):
+                out.append(value)
+            elif isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, ast.expr))
+        return out
+
+    @classmethod
+    def _has_unordered_input(cls, value: ast.AST,
+                             set_names: set[str]) -> bool:
+        """True if the expression iterates an unordered set.
+
+        ``len``/``sorted``/``min``/``max`` are order-insensitive sinks, so
+        sets flowing only through them are fine.
+        """
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Name):
+            return value.id in set_names
+        if isinstance(value, ast.Call):
+            fname = (value.func.id if isinstance(value.func, ast.Name)
+                     else None)
+            if fname in ("set", "frozenset"):
+                return True
+            if fname in ("len", "sorted", "min", "max"):
+                return False
+        return any(cls._has_unordered_input(child, set_names)
+                   for child in ast.iter_child_nodes(value))
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>",
+                select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one Python source string; returns findings (incl. suppressed)."""
+    selected = frozenset(select) if select is not None else frozenset(RULES)
+    tree = ast.parse(source, filename=path)
+    per_line, file_wide = _parse_suppressions(source)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(_FunctionLinter(node, path, selected).run())
+    for f in findings:
+        line_rules = per_line.get(f.line, set())
+        if ("ALL" in file_wide or f.rule in file_wide
+                or "ALL" in line_rules or f.rule in line_rules):
+            f.suppressed = True
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str | Path,
+              select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one file."""
+    p = Path(path)
+    return lint_source(p.read_text(), path=str(p), select=select)
+
+
+def lint_paths(paths: Sequence[str | Path],
+               select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint files and/or directory trees (``**/*.py``)."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, select=select))
+    return findings
+
+
+def render_text(findings: Sequence[Finding],
+                show_suppressed: bool = False) -> str:
+    """Human-readable report (one line per finding + a summary line)."""
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    lines = [f.format() for f in active]
+    if show_suppressed:
+        lines += [f.format() for f in suppressed]
+    lines.append(
+        f"spmdlint: {len(active)} finding(s), {len(suppressed)} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: rule counts plus every finding."""
+    active = [f for f in findings if not f.suppressed]
+    payload = {
+        "findings": [asdict(f) for f in findings],
+        "counts": dict(Counter(f.rule for f in active)),
+        "total": len(active),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+    }
+    return json.dumps(payload, indent=2)

@@ -13,7 +13,11 @@ Wraps the library's end-to-end pipeline as a tool:
   a saved graph instead of rebuilding; ``--save-checkpoint DIR`` writes
   one);
 * ``serve`` — start the persistent analytics engine over one resident
-  graph and drive it with a query script (see ``repro.service``).
+  graph and drive it with a query script (see ``repro.service``);
+* ``check`` — run the ``spmdlint`` static SPMD-correctness pass over
+  Python sources (see ``repro.check``); ``--strict`` makes unsuppressed
+  findings fail the process, ``--format json`` emits machine-readable
+  output.
 """
 
 from __future__ import annotations
@@ -432,6 +436,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# subcommand: check
+# ---------------------------------------------------------------------------
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import RULES
+    from .check.spmdlint import lint_paths, render_json, render_text
+
+    paths = args.paths or [Path(__file__).resolve().parent]
+    select = None
+    if args.select:
+        bad = [r for r in args.select if r not in RULES]
+        if bad:
+            print(f"error: unknown rule(s): {', '.join(bad)} "
+                  f"(known: {', '.join(sorted(RULES))})", file=sys.stderr)
+            return 2
+        select = args.select
+    findings = lint_paths(paths, select=select)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, show_suppressed=args.show_suppressed))
+    unsuppressed = sum(1 for f in findings if not f.suppressed)
+    return 1 if (args.strict and unsuppressed) else 0
+
+
+# ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     from .generators import dataset_names
 
@@ -517,6 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the final engine status as JSON")
     s.add_argument("--width", type=int, default=32, choices=(32, 64))
     s.set_defaults(fn=_cmd_serve)
+
+    k = sub.add_parser(
+        "check", help="run the spmdlint SPMD-correctness static pass")
+    k.add_argument("paths", nargs="*", type=Path,
+                   help="files or directories to lint "
+                        "(default: the installed repro package)")
+    k.add_argument("--strict", action="store_true",
+                   help="exit 1 when any unsuppressed finding remains")
+    k.add_argument("--format", choices=("text", "json"), default="text")
+    k.add_argument("--select", nargs="*", metavar="SPMDxxx",
+                   help="restrict to these rule ids (default: all)")
+    k.add_argument("--show-suppressed", action="store_true",
+                   help="also list suppressed findings in text output")
+    k.set_defaults(fn=_cmd_check)
 
     return p
 

@@ -20,8 +20,14 @@ Example
 [6, 6, 6, 6]
 """
 
-from .comm import Communicator, World
-from .errors import CommUsageError, RankAborted, SpmdError
+from .comm import VERIFY_ENV, Communicator, World, verify_from_env
+from .errors import (
+    CollectiveMismatchError,
+    CommUsageError,
+    RankAborted,
+    SlotRaceError,
+    SpmdError,
+)
 from .launcher import run_spmd, spmd_traces
 from .reduceops import (
     BAND,
@@ -60,6 +66,10 @@ __all__ = [
     "SpmdError",
     "RankAborted",
     "CommUsageError",
+    "CollectiveMismatchError",
+    "SlotRaceError",
+    "VERIFY_ENV",
+    "verify_from_env",
     "CommEvent",
     "CommTrace",
     "aggregate_summaries",

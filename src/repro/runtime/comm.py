@@ -18,6 +18,16 @@ Every operation is traced (bytes, message counts, wait/transfer durations)
 into :class:`~repro.runtime.trace.CommTrace`, which feeds the performance
 model used to regenerate the paper's scaling figures.
 
+An opt-in **schedule verifier** (``World(..., verify=True)`` or the
+``REPRO_VERIFY_COLLECTIVES=1`` environment variable) allgathers a cheap
+signature — op name, per-rank call index, root, reduce op, dtype/shape —
+through a dedicated slot array before every collective and raises
+:class:`~repro.runtime.errors.CollectiveMismatchError` naming the diverging
+ranks and both signatures, instead of deadlocking or silently combining
+incompatible payloads.  It also detects write-after-write races on the
+shared slots (:class:`~repro.runtime.errors.SlotRaceError`).  The static
+companion is :mod:`repro.check` ("spmdlint").
+
 The design deliberately exposes the same cost structure as real MPI: an
 ``alltoallv`` really does materialize per-destination buffers and a
 concatenated receive buffer, so communication volume measurements are exact.
@@ -26,6 +36,7 @@ concatenated receive buffer, so communication volume measurements are exact.
 from __future__ import annotations
 
 import math
+import os
 import queue
 import threading
 import time
@@ -35,11 +46,33 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from .barrier import AbortableBarrier
-from .errors import CommUsageError
+from .errors import (
+    CollectiveMismatchError,
+    CommUsageError,
+    RankAborted,
+    SlotRaceError,
+)
 from .reduceops import ReduceOp, SUM
 from .trace import CommTrace
 
-__all__ = ["Communicator", "World"]
+__all__ = ["Communicator", "World", "VERIFY_ENV", "verify_from_env"]
+
+#: Environment variable enabling the runtime schedule verifier by default.
+VERIFY_ENV = "REPRO_VERIFY_COLLECTIVES"
+
+#: Sentinel marking a slot whose payload was consumed (verify mode only).
+_CONSUMED = object()
+
+#: Abort-reason prefix distinguishing a verifier-detected divergence from
+#: app failures, so peers still in the signature barrier can convert their
+#: abort into the same CollectiveMismatchError diagnosis.
+_MISMATCH_REASON = "collective schedule mismatch"
+
+
+def verify_from_env() -> bool:
+    """True when ``REPRO_VERIFY_COLLECTIVES`` asks for verification."""
+    return os.environ.get(VERIFY_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 def _nbytes(obj: Any) -> int:
@@ -53,6 +86,22 @@ def _nbytes(obj: Any) -> int:
     return 0
 
 
+def _payload_sig(value: Any) -> tuple[Any, ...]:
+    """Coarse rank-invariant descriptor of a reduction/elementwise payload.
+
+    Arrays must agree on dtype and shape across ranks (elementwise
+    reductions require it); scalars and tuples only on their coarse kind,
+    since e.g. ``int`` on one rank and ``np.int64`` on another is fine.
+    """
+    if isinstance(value, np.ndarray):
+        return ("ndarray", str(value.dtype), value.shape)
+    if isinstance(value, (bool, int, float, complex, np.generic)):
+        return ("scalar",)
+    if isinstance(value, tuple):
+        return ("tuple", len(value))
+    return ("object",)
+
+
 class World:
     """Shared state for one SPMD execution (all ranks of a world).
 
@@ -60,13 +109,16 @@ class World:
     builds one per launch.
     """
 
-    def __init__(self, size: int, timeout: float | None = None):
+    def __init__(self, size: int, timeout: float | None = None,
+                 verify: bool | None = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.timeout = timeout
+        self.verify = verify_from_env() if verify is None else bool(verify)
         self.barrier = AbortableBarrier(size, timeout=timeout)
         self.slots: list[Any] = [None] * size
+        self.verify_slots: list[Any] = [None] * size if self.verify else []
         self._p2p_lock = threading.Lock()
         self._p2p: dict[tuple[int, int, int], queue.Queue] = {}
 
@@ -93,6 +145,7 @@ class Communicator:
         self.rank = rank
         self.size = world.size
         self.trace = CommTrace(rank)
+        self._call_index = 0
         # Approximate hop count of a binomial-tree collective, for the
         # alpha (latency) term of the performance model.
         self._tree_msgs = max(1, math.ceil(math.log2(max(2, self.size))))
@@ -100,21 +153,72 @@ class Communicator:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _run(self, op: str, contribution: Any, combine, bytes_sent: int, msg_count: int):
+    def _verify_schedule(self, op: str, sig: tuple[Any, ...]) -> float:
+        """Allgather ``(call_index, op, *sig)`` and cross-check every rank.
+
+        Runs one extra barrier round through a dedicated slot array before
+        the payload exchange, so a rank-divergent collective surfaces as a
+        :class:`CollectiveMismatchError` on *every* rank (same slots, same
+        deterministic comparison) instead of a hang or silent corruption.
+        Returns the barrier wait time so straggler skew stays attributed to
+        the collective's traced ``wait_s`` even in verify mode.
+        """
+        world = self._world
+        mine = (self._call_index, op, *sig)
+        world.verify_slots[self.rank] = mine
+        try:
+            waited = world.barrier.wait()
+        except RankAborted as exc:
+            # A peer that exited this same barrier ahead of us may have
+            # detected the mismatch and aborted before our wait() returned.
+            # The slot array is fully populated (the generation completed),
+            # so re-derive the same diagnosis instead of reporting a bare
+            # abort.
+            peers = {r: s for r, s in enumerate(world.verify_slots)
+                     if s != mine}
+            if _MISMATCH_REASON in str(exc) and peers:
+                raise CollectiveMismatchError(self.rank, mine, peers) from None
+            raise
+        peers = {r: s for r, s in enumerate(world.verify_slots) if s != mine}
+        if peers:
+            world.abort(
+                f"{_MISMATCH_REASON} detected by rank {self.rank}")
+            raise CollectiveMismatchError(self.rank, mine, peers)
+        return waited
+
+    def _run(self, op: str, contribution: Any, combine, bytes_sent: int,
+             msg_count: int, sig: tuple[Any, ...] = ()):
         """Execute one collective: publish, sync, combine, sync.
 
         ``combine(slots)`` is evaluated by *every* rank on the shared slot
         list after the entry barrier; a second barrier protects slot reuse.
+        In verify mode a signature exchange precedes the payload (see
+        :meth:`_verify_schedule`) and slot hygiene is checked: a rank must
+        find its own slot released before publishing into it again.
         """
         trace = self.trace
         t_enter = trace.mark_enter()
         world = self._world
+        verify = world.verify
+        verify_wait = 0.0
+        if verify:
+            verify_wait = self._verify_schedule(op, sig)
+            prev = world.slots[self.rank]
+            if prev is not None and prev is not _CONSUMED:
+                world.abort(f"slot write-after-write race on rank {self.rank}")
+                raise SlotRaceError(
+                    f"rank {self.rank} entered '{op}' while its slot still "
+                    f"holds an unconsumed {type(prev).__name__} payload "
+                    f"(barrier protocol bypassed?)")
+        self._call_index += 1
         world.slots[self.rank] = contribution
-        wait_s = world.barrier.wait()
+        wait_s = verify_wait + world.barrier.wait()
         t0 = time.perf_counter()
         result, bytes_recv = combine(world.slots)
         xfer_s = time.perf_counter() - t0
         xfer_s += world.barrier.wait()
+        if verify:
+            world.slots[self.rank] = _CONSUMED
         trace.record(op, bytes_sent, bytes_recv, msg_count, wait_s, xfer_s, t_enter)
         trace.mark_leave()
         return result
@@ -158,7 +262,7 @@ class Communicator:
 
         return self._run("bcast", obj if self.rank == root else None, combine,
                          nb * (self.size - 1) if self.rank == root else 0,
-                         self._tree_msgs)
+                         self._tree_msgs, sig=("root", root))
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank into a list at ``root`` (None elsewhere)."""
@@ -170,7 +274,8 @@ class Communicator:
                 return vals, sum(_nbytes(v) for v in vals)
             return None, 0
 
-        return self._run("gather", obj, combine, _nbytes(obj), 1)
+        return self._run("gather", obj, combine, _nbytes(obj), 1,
+                         sig=("root", root))
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one object per rank into a list on every rank."""
@@ -195,7 +300,8 @@ class Communicator:
 
         sent = sum(_nbytes(o) for o in objs) if self.rank == root else 0
         return self._run("scatter", objs if self.rank == root else None,
-                         combine, sent, 1 if self.rank == root else 0)
+                         combine, sent, 1 if self.rank == root else 0,
+                         sig=("root", root))
 
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
         """Personalized all-to-all of Python objects (``objs[d]`` goes to rank d)."""
@@ -223,7 +329,8 @@ class Communicator:
             return out, _nbytes(value) * self._tree_msgs
 
         return self._run(f"allreduce[{op.name}]", value, combine,
-                         _nbytes(value) * self._tree_msgs, 2 * self._tree_msgs)
+                         _nbytes(value) * self._tree_msgs, 2 * self._tree_msgs,
+                         sig=("payload", _payload_sig(value)))
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
         """Reduce to ``root`` (None elsewhere)."""
@@ -237,7 +344,9 @@ class Communicator:
                 out = out.copy()
             return out, _nbytes(value) * (self.size - 1)
 
-        return self._run(f"reduce[{op.name}]", value, combine, _nbytes(value), 1)
+        return self._run(f"reduce[{op.name}]", value, combine,
+                         _nbytes(value), 1,
+                         sig=("root", root, "payload", _payload_sig(value)))
 
     def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Inclusive prefix reduction over ranks 0..rank."""
@@ -249,7 +358,8 @@ class Communicator:
             return out, _nbytes(value)
 
         return self._run(f"scan[{op.name}]", value, combine,
-                         _nbytes(value), self._tree_msgs)
+                         _nbytes(value), self._tree_msgs,
+                         sig=("payload", _payload_sig(value)))
 
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction; ``op.identity`` on rank 0."""
@@ -263,7 +373,8 @@ class Communicator:
             return out, _nbytes(value)
 
         return self._run(f"exscan[{op.name}]", value, combine,
-                         _nbytes(value), self._tree_msgs)
+                         _nbytes(value), self._tree_msgs,
+                         sig=("payload", _payload_sig(value)))
 
     # ------------------------------------------------------------------
     # buffer collectives
@@ -285,7 +396,9 @@ class Communicator:
             return (data, counts), int(data.nbytes)
 
         return self._run("allgatherv", array, combine,
-                         array.nbytes * (self.size - 1), self._tree_msgs)
+                         array.nbytes * (self.size - 1), self._tree_msgs,
+                         sig=("dtype", str(array.dtype),
+                              "tail", array.shape[1:]))
 
     def gatherv(self, array: np.ndarray, root: int = 0
                 ) -> tuple[np.ndarray, np.ndarray] | None:
@@ -303,7 +416,9 @@ class Communicator:
             data = np.concatenate(slots) if counts.sum() else array[:0].copy()
             return (data, counts), int(data.nbytes)
 
-        return self._run("gatherv", array, combine, array.nbytes, 1)
+        return self._run("gatherv", array, combine, array.nbytes, 1,
+                         sig=("root", root, "dtype", str(array.dtype),
+                              "tail", array.shape[1:]))
 
     def reduce_scatter(self, array: np.ndarray, op: ReduceOp = SUM
                        ) -> np.ndarray:
@@ -327,7 +442,8 @@ class Communicator:
             return acc, block * array.itemsize
 
         return self._run(f"reduce_scatter[{op.name}]", array, combine,
-                         array.nbytes, self._tree_msgs)
+                         array.nbytes, self._tree_msgs,
+                         sig=("dtype", str(array.dtype), "len", len(array)))
 
     def alltoallv(self, send: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
         """Personalized all-to-all of NumPy buffers.
@@ -364,7 +480,8 @@ class Communicator:
             recv = sum(b.nbytes for s, b in enumerate(mine) if s != self.rank)
             return (data, counts), recv
 
-        return self._run("alltoallv", send, combine, bytes_sent, nmsg)
+        return self._run("alltoallv", send, combine, bytes_sent, nmsg,
+                         sig=("dtype", str(dt)))
 
     # ------------------------------------------------------------------
     # sub-communicators
@@ -394,7 +511,8 @@ class Communicator:
         leader = ranks_in_group[0]
         if self.rank == leader:
             group_world = World(len(ranks_in_group),
-                                timeout=self._world.timeout)
+                                timeout=self._world.timeout,
+                                verify=self._world.verify)
             outgoing = [group_world if r in ranks_in_group else None
                         for r in range(self.size)]
         else:

@@ -8,7 +8,15 @@ launcher then re-raises the *original* failure wrapped in :class:`SpmdError`.
 
 from __future__ import annotations
 
-__all__ = ["SpmdError", "RankAborted", "CommUsageError"]
+from typing import Any
+
+__all__ = [
+    "SpmdError",
+    "RankAborted",
+    "CommUsageError",
+    "CollectiveMismatchError",
+    "SlotRaceError",
+]
 
 
 class SpmdError(RuntimeError):
@@ -42,4 +50,61 @@ class CommUsageError(ValueError):
     Collective misuse (mismatched dtypes, wrong-length send lists, invalid
     roots) is reported eagerly on the calling rank so the failure is local
     and debuggable rather than a hang.
+    """
+
+
+def format_signature(sig: tuple[Any, ...]) -> str:
+    """Render a collective signature ``(call_index, op, *details)`` tersely.
+
+    Signatures are built by the runtime verifier (see
+    :meth:`repro.runtime.comm.Communicator`); details are flat
+    ``(key, value)`` pairs.
+    """
+    if not sig:
+        return "<none>"
+    idx, op, *rest = sig
+    details = ", ".join(f"{rest[i]}={rest[i + 1]!r}"
+                        for i in range(0, len(rest) - 1, 2))
+    return f"{op}(call #{idx}{', ' + details if details else ''})"
+
+
+class CollectiveMismatchError(RuntimeError):
+    """The ranks of a world diverged from one collective schedule.
+
+    Raised by the opt-in runtime verifier (``World(..., verify=True)`` or
+    ``REPRO_VERIFY_COLLECTIVES=1``) *instead of* letting the mismatch hang
+    an abortable barrier or silently combine incompatible payloads.
+
+    Attributes
+    ----------
+    rank:
+        The rank that raised (every rank of the world raises; each names
+        itself here).
+    mine:
+        This rank's signature tuple ``(call_index, op, *details)``.
+    peers:
+        Mapping of diverging rank -> that rank's signature tuple.
+    """
+
+    def __init__(self, rank: int, mine: tuple[Any, ...],
+                 peers: dict[int, tuple[Any, ...]]):
+        self.rank = rank
+        self.mine = mine
+        self.peers = dict(peers)
+        divergers = ", ".join(str(r) for r in sorted(self.peers))
+        first = self.peers[min(self.peers)]
+        super().__init__(
+            f"collective schedule mismatch: rank {rank} called "
+            f"{format_signature(mine)} but rank(s) {divergers} diverged "
+            f"(rank {min(self.peers)} called {format_signature(first)})"
+        )
+
+
+class SlotRaceError(RuntimeError):
+    """Write-after-write race detected on a shared collective slot.
+
+    Raised by the runtime verifier when a rank enters a collective while
+    its slot still holds an unconsumed payload — evidence that the
+    barrier protocol was bypassed (e.g. two communicators sharing one
+    ``(world, rank)`` pair, or user code poking ``World.slots`` directly).
     """

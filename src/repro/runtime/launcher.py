@@ -33,6 +33,7 @@ def run_spmd(
     *args: Any,
     timeout: float | None = 120.0,
     collect_traces: bool = True,
+    verify: bool | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
@@ -51,6 +52,12 @@ def run_spmd(
     collect_traces:
         When true (default) the per-rank :class:`CommTrace` objects are kept
         and retrievable via :func:`spmd_traces`.
+    verify:
+        Enable the runtime collective-schedule verifier for this world
+        (signature allgather before every collective; mismatches raise
+        :class:`~repro.runtime.errors.CollectiveMismatchError` instead of
+        hanging).  ``None`` (default) defers to the
+        ``REPRO_VERIFY_COLLECTIVES`` environment variable.
 
     Returns
     -------
@@ -66,7 +73,7 @@ def run_spmd(
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
 
-    world = World(nranks, timeout=timeout)
+    world = World(nranks, timeout=timeout, verify=verify)
     comms = [Communicator(world, r) for r in range(nranks)]
     results: list[Any] = [None] * nranks
     failures: dict[int, BaseException] = {}

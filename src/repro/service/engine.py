@@ -268,7 +268,9 @@ def _debug_fail_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     def fn(comm, state):
         comm.barrier()
         if comm.rank == fail_rank:
-            raise RuntimeError("injected failure (debug)")
+            # Divergence is the whole point of this debug analytic: it
+            # exercises the engine's abort/recovery path.
+            raise RuntimeError("injected failure (debug)")  # spmdlint: disable=SPMD002
         comm.barrier()  # peers block here until the abort unblocks them
         return None
 
@@ -342,6 +344,9 @@ class AnalyticsEngine:
         LRU result-cache capacity (0 disables caching).
     default_timeout:
         Per-job timeout in seconds when a submission does not set one.
+    verify:
+        Enable the runtime collective-schedule verifier on every per-job
+        world (``None`` defers to ``REPRO_VERIFY_COLLECTIVES``).
     """
 
     def __init__(
@@ -362,6 +367,7 @@ class AnalyticsEngine:
         cache_capacity: int = 128,
         default_timeout: float | None = 60.0,
         build_timeout: float | None = 300.0,
+        verify: bool | None = None,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -374,6 +380,11 @@ class AnalyticsEngine:
         self.nranks = nranks
         self.partition_kind = partition
         self.default_timeout = default_timeout
+        # Collective-schedule verification for every per-job world (None
+        # defers to REPRO_VERIFY_COLLECTIVES).  Long-lived engines are the
+        # main beneficiary: a divergent query raises instead of poisoning
+        # the resident world.
+        self.verify = verify
         self._closed = False
         self._paused = False
         self._lock = threading.Lock()
@@ -496,7 +507,10 @@ class AnalyticsEngine:
         while True:
             cmd = q.get()
             if cmd is None:
-                return
+                # Not a divergent exit: shutdown() enqueues the None
+                # sentinel on every rank's queue, so all workers leave
+                # together after draining identical schedules.
+                return  # spmdlint: disable=SPMD002
             comm, fn, report = cmd
             try:
                 result = fn(comm, state)
@@ -510,7 +524,7 @@ class AnalyticsEngine:
     def _run_collective(self, fn, timeout: float | None
                         ) -> tuple[list[Any], dict[int, BaseException]]:
         """Run ``fn(comm, state)`` once per rank over a fresh world."""
-        world = World(self.nranks, timeout=timeout)
+        world = World(self.nranks, timeout=timeout, verify=self.verify)
         comms = [Communicator(world, r) for r in range(self.nranks)]
         report = _RankReport(self.nranks)
         for r in range(self.nranks):

@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Run the whole suite with the collective-schedule verifier on, so every
+# test doubles as a schedule-conformance check (divergent schedules raise
+# CollectiveMismatchError instead of deadlocking).  setdefault lets a
+# developer override with REPRO_VERIFY_COLLECTIVES=0.
+os.environ.setdefault("REPRO_VERIFY_COLLECTIVES", "1")
 
 from repro.graph import build_dist_graph
 from repro.partition import (

@@ -1,0 +1,16 @@
+# ruff: noqa
+"""Seeded violation: rank-divergent collective schedule (SPMD001).
+
+Rank 0 broadcasts while the other ranks reduce — the arms of a branch on
+``comm.rank`` issue different collectives, so the world deadlocks (or, with
+the runtime verifier on, raises ``CollectiveMismatchError``).
+"""
+from repro.runtime import SUM
+
+
+def divergent_root_work(comm, payload):
+    if comm.rank == 0:
+        comm.bcast(payload, root=0)
+    else:
+        comm.allreduce(len(payload), SUM)
+    return payload

@@ -1,0 +1,30 @@
+# ruff: noqa
+"""Seeded violation: divergent early exit skips later collectives (SPMD002).
+
+A rank that returns (or raises, or continues) out of the schedule leaves
+its peers blocked in the collectives it skipped.
+"""
+from repro.runtime import SUM
+
+
+def early_return(comm, items):
+    local = comm.scan(len(items), SUM)
+    if local == 0:
+        return None  # skips the allreduce below on some ranks only
+    return comm.allreduce(local, SUM)
+
+
+def divergent_raise(comm, items):
+    if comm.rank == len(items):
+        raise ValueError("boom")
+    comm.barrier()
+
+
+def loop_continue(comm, chunks):
+    total = 0
+    for chunk in chunks:
+        mine = comm.scan(len(chunk), SUM)
+        if mine % 2:
+            continue  # skips this iteration's allreduce on odd ranks
+        total += comm.allreduce(mine, SUM)
+    return total

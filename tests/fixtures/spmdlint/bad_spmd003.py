@@ -1,0 +1,26 @@
+# ruff: noqa
+"""Seeded violation: collective inside a data-dependent loop (SPMD003).
+
+The trip count depends on per-rank state (the result of an ``alltoallv``),
+so ranks run different numbers of iterations and the collective schedules
+drift apart.  The fix is to derive the loop condition from an allreduce.
+"""
+import numpy as np
+
+from repro.runtime import SUM
+
+
+def drain_local_queue(comm, send):
+    pending, _ = comm.alltoallv(send)
+    while len(pending):  # per-rank length: trip counts diverge
+        comm.barrier()
+        pending = pending[1:]
+    return pending
+
+
+def iterate_received(comm, send):
+    received, _ = comm.alltoallv(send)
+    total = 0
+    for batch in np.array_split(received, 4):  # iterable is rank-local
+        total += comm.allreduce(len(batch), SUM)
+    return total

@@ -1,0 +1,21 @@
+# ruff: noqa
+"""Seeded violation: object-pickling collective on a hot path (SPMD004).
+
+``gather``/``allgather``/``alltoall``/``bcast`` pickle their payloads per
+call; inside a loop the buffer collectives (``gatherv``, ``allgatherv``,
+``alltoallv``) should be used instead.
+"""
+
+
+def per_iteration_gather(comm, rounds, payload):
+    out = []
+    for _ in range(rounds):
+        out.append(comm.gather(payload, root=0))  # pickles every round
+    return out
+
+
+def per_iteration_allgather(comm, rounds, payload):
+    total = 0
+    for _ in range(rounds):
+        total += len(comm.allgather(payload))  # pickles every round
+    return total

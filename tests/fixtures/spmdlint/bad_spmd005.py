@@ -1,0 +1,17 @@
+# ruff: noqa
+"""Seeded violation: reduction over unordered set iteration (SPMD005).
+
+Python set iteration order is not deterministic across processes (hash
+randomization) — feeding it into a floating-point reduction makes the
+result run-to-run non-deterministic.  Sort before reducing.
+"""
+from repro.runtime import SUM
+
+
+def reduce_set_sum(comm, values):
+    unique = {round(v, 6) for v in values}
+    return comm.allreduce(sum(unique), SUM)  # set ordering is unstable
+
+
+def reduce_inline_set(comm, a, b, c):
+    return comm.reduce(sum(set([a, b, c])), SUM, root=0)

@@ -1,0 +1,56 @@
+# ruff: noqa
+"""Fixture with correct SPMD patterns: spmdlint must report zero findings.
+
+Each function mirrors a "bad" fixture but follows the BSP discipline:
+replicated loop conditions, schedule-preserving branches, buffer
+collectives on hot paths, sorted reduction inputs.
+"""
+import numpy as np
+
+from repro.runtime import MAX, SUM
+
+
+def replicated_loop(comm, send):
+    # Trip count derived from an allreduce: identical on every rank.
+    pending, _ = comm.alltoallv(send)
+    remaining = comm.allreduce(len(pending), SUM)
+    while remaining > 0:
+        comm.barrier()
+        pending = pending[1:]
+        remaining = comm.allreduce(len(pending), SUM)
+    return pending
+
+
+def symmetric_branch(comm, payload):
+    # Both arms run the same collective schedule; only local work differs.
+    if comm.rank == 0:
+        value = comm.bcast(payload, root=0)
+    else:
+        value = comm.bcast(None, root=0)
+    return value
+
+
+def uniform_exit(comm, items):
+    # The exit condition is an allreduce result: every rank exits together.
+    total = comm.allreduce(len(items), SUM)
+    if total == 0:
+        return None
+    return comm.allreduce(total, MAX)
+
+
+def buffer_hot_path(comm, rounds, payload):
+    # Buffer collective inside the loop; the object gather is one-shot.
+    out = []
+    for _ in range(rounds):
+        arr = np.asarray(payload, dtype=np.float64)
+        out.append(comm.allgatherv(arr))
+    parts = comm.gather(len(out), root=0)
+    return out, parts
+
+
+def sorted_reduction(comm, values):
+    # Set deduplication is fine as long as the reduction input is ordered.
+    unique = {round(v, 6) for v in values}
+    count = comm.allreduce(len(unique), SUM)  # len() is order-insensitive
+    total = comm.allreduce(sum(sorted(unique)), SUM)
+    return count, total

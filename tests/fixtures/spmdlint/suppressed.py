@@ -1,0 +1,18 @@
+# ruff: noqa
+"""Fixture exercising suppression comments: findings exist but are muted."""
+from repro.runtime import SUM
+
+
+def intentional_divergence(comm, payload):
+    # A deliberately divergent schedule, e.g. for failure-injection tests.
+    if comm.rank == 0:  # spmdlint: disable=SPMD001
+        comm.bcast(payload, root=0)
+    else:
+        comm.allreduce(len(payload), SUM)
+
+
+def intentional_early_exit(comm, items):
+    local = comm.scan(len(items), SUM)
+    if local == 0:
+        return None  # spmdlint: disable
+    return comm.allreduce(local, SUM)

@@ -1,0 +1,243 @@
+"""spmdlint static-pass tests: rule firing, suppression, CLI, self-check."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.check import RULES, lint_file, lint_paths, lint_source
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "spmdlint"
+
+
+def unsuppressed(findings):
+    return [f for f in findings if not f.suppressed]
+
+
+# ---------------------------------------------------------------------------
+# fixture corpus: every rule must fire on its seeded violation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("rule", sorted(RULES))
+def test_rule_fires_on_its_fixture(rule):
+    findings = unsuppressed(lint_file(FIXTURES / f"bad_{rule.lower()}.py"))
+    assert findings, f"{rule} fixture produced no findings"
+    assert {f.rule for f in findings} == {rule}
+
+
+def test_fixture_findings_have_precise_spans():
+    findings = unsuppressed(lint_file(FIXTURES / "bad_spmd001.py"))
+    (f,) = findings
+    assert f.path.endswith("bad_spmd001.py")
+    assert f.line > 1 and f.col >= 1
+    assert f.function == "divergent_root_work"
+    assert "bcast" in f.message and "allreduce" in f.message
+
+
+def test_clean_fixture_has_no_findings():
+    assert lint_file(FIXTURES / "clean.py") == []
+
+
+def test_suppressed_fixture_is_quiet_but_tracked():
+    findings = lint_file(FIXTURES / "suppressed.py")
+    assert findings and all(f.suppressed for f in findings)
+    assert {f.rule for f in findings} == {"SPMD001", "SPMD002"}
+
+
+def test_lint_paths_over_directory_covers_all_fixtures():
+    findings = lint_paths([FIXTURES])
+    files = {Path(f.path).name for f in findings}
+    assert files == {"bad_spmd001.py", "bad_spmd002.py", "bad_spmd003.py",
+                     "bad_spmd004.py", "bad_spmd005.py", "suppressed.py"}
+
+
+# ---------------------------------------------------------------------------
+# the repo itself must be lint-clean (satellite requirement)
+# ---------------------------------------------------------------------------
+def test_repro_package_is_spmdlint_clean():
+    pkg = Path(repro.__file__).resolve().parent
+    findings = unsuppressed(lint_paths([pkg]))
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# classification: correct SPMD patterns must not be flagged
+# ---------------------------------------------------------------------------
+def test_allreduce_derived_loop_condition_is_replicated():
+    src = """
+def work(comm, items):
+    remaining = comm.allreduce(len(items), SUM)
+    while remaining > 0:
+        comm.barrier()
+        remaining = comm.allreduce(remaining - 1, SUM)
+"""
+    assert lint_source(src) == []
+
+
+def test_symmetric_rank_branch_not_flagged():
+    src = """
+def work(comm, payload):
+    if comm.rank == 0:
+        out = comm.bcast(payload, root=0)
+    else:
+        out = comm.bcast(None, root=0)
+    return out
+"""
+    assert lint_source(src) == []
+
+
+def test_rank_derived_name_is_tracked_transitively():
+    src = """
+def work(comm):
+    me = comm.rank
+    mine = me * 2
+    if mine > 2:
+        comm.barrier()
+"""
+    findings = lint_source(src)
+    assert [f.rule for f in findings] == ["SPMD001"]
+
+
+def test_per_rank_collective_result_taints_loop(tmp_path):
+    src = """
+def work(comm, send):
+    got, counts = comm.alltoallv(send)
+    for item in got:
+        comm.barrier()
+"""
+    assert [f.rule for f in lint_source(src)] == ["SPMD003"]
+
+
+def test_replicated_for_over_argument_not_flagged():
+    src = """
+def work(comm, rounds):
+    for _ in range(rounds):
+        comm.barrier()
+"""
+    assert lint_source(src) == []
+
+
+def test_indirect_collective_site_through_helper():
+    src = """
+def work(comm, helper):
+    part = comm.scan(1, SUM)
+    if part > 1:
+        return None
+    helper(comm, part)
+"""
+    findings = lint_source(src)
+    assert [f.rule for f in findings] == ["SPMD002"]
+    assert "call:helper" in findings[0].message
+
+
+def test_inner_loop_continue_not_blamed_on_outer_loop():
+    # The continue belongs to the collective-free inner loop.
+    src = """
+def work(comm, send):
+    total = comm.allreduce(1, SUM)
+    while total > 0:
+        got, _ = comm.alltoallv(send)
+        for item in got:
+            if item < 0:
+                continue
+            total -= item
+        total = comm.allreduce(total, SUM)
+"""
+    assert lint_source(src) == []
+
+
+def test_functions_without_collectives_are_ignored():
+    src = """
+def pure(rank, values):
+    if rank == 0:
+        return None
+    while values:
+        values = values[1:]
+"""
+    assert lint_source(src) == []
+
+
+def test_sorted_set_reduction_not_flagged():
+    src = """
+def work(comm, values):
+    uniq = set(values)
+    n = comm.allreduce(len(uniq), SUM)
+    s = comm.allreduce(sum(sorted(uniq)), SUM)
+    return n, s
+"""
+    assert lint_source(src) == []
+
+
+# ---------------------------------------------------------------------------
+# suppression machinery
+# ---------------------------------------------------------------------------
+def test_wrong_rule_id_does_not_suppress():
+    src = """
+def work(comm, payload):
+    if comm.rank == 0:  # spmdlint: disable=SPMD999
+        comm.bcast(payload, root=0)
+    else:
+        comm.barrier()
+"""
+    findings = lint_source(src)
+    assert findings and not findings[0].suppressed
+
+
+def test_disable_file_suppresses_everything():
+    src = """
+# spmdlint: disable-file
+def work(comm, payload):
+    if comm.rank == 0:
+        comm.bcast(payload, root=0)
+    else:
+        comm.barrier()
+"""
+    findings = lint_source(src)
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_select_restricts_rules():
+    findings = lint_paths([FIXTURES], select=["SPMD004"])
+    assert {f.rule for f in findings} == {"SPMD004"}
+
+
+# ---------------------------------------------------------------------------
+# CLI: text/json output and strict exit codes
+# ---------------------------------------------------------------------------
+def test_cli_strict_exit_codes():
+    assert cli_main(["check", str(FIXTURES / "clean.py"), "--strict"]) == 0
+    assert cli_main(["check", str(FIXTURES / "bad_spmd001.py"),
+                     "--strict"]) == 1
+    # Without --strict the command only reports.
+    assert cli_main(["check", str(FIXTURES / "bad_spmd001.py")]) == 0
+    # Suppressed findings do not fail strict mode.
+    assert cli_main(["check", str(FIXTURES / "suppressed.py"),
+                     "--strict"]) == 0
+
+
+def test_cli_json_format(capsys):
+    rc = cli_main(["check", str(FIXTURES), "--format", "json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == sum(payload["counts"].values())
+    assert set(payload["counts"]) == set(RULES)
+    assert payload["suppressed"] == 2
+    sample = payload["findings"][0]
+    assert {"rule", "message", "path", "line", "col",
+            "function", "suppressed"} <= set(sample)
+
+
+def test_cli_unknown_rule_is_an_error(capsys):
+    rc = cli_main(["check", str(FIXTURES), "--select", "SPMD999"])
+    assert rc == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_text_output_mentions_rules(capsys):
+    cli_main(["check", str(FIXTURES / "bad_spmd003.py")])
+    out = capsys.readouterr().out
+    assert "SPMD003" in out and "bad_spmd003.py" in out
+    assert "finding(s)" in out
