@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repository health check: lint (when ruff is available), the spmdlint SPMD
-# correctness pass (including its seeded-violation fixture corpus), and the
-# tier-1 suite.
+# correctness pass (schedule + buffer-ownership rules, each with its
+# seeded-violation fixture corpus), the runtime race fixtures, and the
+# tier-1 suite twice (verifier on; then buffer sanitizer on as well).
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
@@ -33,5 +34,28 @@ if ! PYTHONPATH=src python -m repro check tests/fixtures/spmdlint/clean.py \
 fi
 echo "ok: clean.py passes"
 
+echo "== racecheck fixture corpus (buffer-ownership rules) =="
+for fixture in tests/fixtures/racecheck/bad_spmd*.py; do
+    if PYTHONPATH=src python -m repro check "$fixture" --strict >/dev/null; then
+        echo "FAIL: seeded violation not detected in $fixture" >&2
+        exit 1
+    fi
+    echo "ok: $fixture fires"
+done
+if ! PYTHONPATH=src python -m repro check tests/fixtures/racecheck/clean.py \
+        --strict >/dev/null; then
+    echo "FAIL: false positive on tests/fixtures/racecheck/clean.py" >&2
+    exit 1
+fi
+echo "ok: clean.py passes"
+
+echo "== runtime race fixtures (sanitizer end-to-end) =="
+for script in tests/fixtures/racecheck/race_*.py; do
+    PYTHONPATH=src python "$script"
+done
+
 echo "== pytest (tier 1, collective-schedule verifier on) =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+echo "== pytest (buffer sanitizer on) =="
+REPRO_SANITIZE_BUFFERS=1 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -1,11 +1,14 @@
-"""Static SPMD correctness analysis ("spmdlint").
+"""Static SPMD correctness analysis ("spmdlint" + "racecheck").
 
-The runtime's one load-bearing invariant — every rank of a world calls the
-same sequence of collectives with compatible arguments — is enforced two
-ways: dynamically by the schedule verifier in :mod:`repro.runtime.comm`
-(``REPRO_VERIFY_COLLECTIVES=1``), and statically by this package, which
-walks Python sources with :mod:`ast` and flags collective call sites whose
-*schedule* can diverge across ranks before any code runs.
+Two invariants of the runtime are enforced statically by this package,
+walking Python sources with :mod:`ast` before any code runs:
+
+* **schedule** — every rank of a world calls the same sequence of
+  collectives with compatible arguments (:mod:`.spmdlint`, SPMD001–005;
+  the dynamic companion is ``REPRO_VERIFY_COLLECTIVES=1``);
+* **ownership** — payloads borrowed from copy=False collectives are never
+  mutated or leaked to shared locations (:mod:`.racecheck`, SPMD006–008;
+  the dynamic companion is ``REPRO_SANITIZE_BUFFERS=1``).
 
 Rules (each suppressible with ``# spmdlint: disable=SPMDxxx``):
 
@@ -19,6 +22,12 @@ SPMD004   object-pickling collective on a hot path (inside a loop) where a
           buffer collective exists
 SPMD005   reduction input built from unordered set iteration
           (non-deterministic ordering across ranks)
+SPMD006   in-place mutation of a payload borrowed from a copy=False
+          collective (the write aliases every rank)
+SPMD007   buffer mutated after being published to a copy=False collective
+          (peer ranks may still be reading it)
+SPMD008   borrowed collective payload stored to a shared location
+          (global/attribute/caller-visible container) without an owning copy
 ========  ==================================================================
 
 Use :func:`lint_paths` / :func:`lint_source` programmatically, or the CLI::
@@ -26,12 +35,18 @@ Use :func:`lint_paths` / :func:`lint_source` programmatically, or the CLI::
     python -m repro check src/repro --strict --format json
 """
 
+from .racecheck import OWNERSHIP_RULES
 from .spmdlint import (
+    RULE_DOCS,
     RULES,
+    SCHEDULE_RULES,
     Finding,
     lint_file,
     lint_paths,
     lint_source,
+    suppression_hint,
 )
 
-__all__ = ["Finding", "RULES", "lint_source", "lint_file", "lint_paths"]
+__all__ = ["Finding", "RULES", "SCHEDULE_RULES", "OWNERSHIP_RULES",
+           "RULE_DOCS", "lint_source", "lint_file", "lint_paths",
+           "suppression_hint"]

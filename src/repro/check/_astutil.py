@@ -1,0 +1,90 @@
+"""Shared AST primitives for the static SPMD passes.
+
+Both analyzers — the collective-*schedule* linter (:mod:`.spmdlint`,
+SPMD001–005) and the buffer-*ownership* linter (:mod:`.racecheck`,
+SPMD006–008) — recognize collective call sites the same way and report
+through the same :class:`Finding` record, so those pieces live here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Finding", "COLLECTIVES"]
+
+#: Collective method names recognized on a communicator receiver.
+COLLECTIVES = frozenset({
+    "barrier", "bcast", "gather", "allgather", "scatter", "alltoall",
+    "allreduce", "reduce", "scan", "exscan", "allgatherv", "gatherv",
+    "reduce_scatter", "alltoallv", "split",
+})
+
+
+@dataclass
+class Finding:
+    """One lint finding (or suppressed would-be finding)."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    function: str = "<module>"
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.function}] {self.message}{tag}")
+
+
+def _final_identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_comm_expr(node: ast.expr) -> bool:
+    ident = _final_identifier(node)
+    return ident is not None and "comm" in ident.lower()
+
+
+def _collective_op(call: ast.Call) -> str | None:
+    """Name of the collective when ``call`` is ``<comm>.{op}(...)``."""
+    fn = call.func
+    if (isinstance(fn, ast.Attribute) and fn.attr in COLLECTIVES
+            and _is_comm_expr(fn.value)):
+        return fn.attr
+    return None
+
+
+def _target_names(target: ast.AST) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []  # subscript/attribute stores do not (re)bind a name
+
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+
+
+def _walk_in_scope(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a subtree without descending into nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_BARRIERS):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))

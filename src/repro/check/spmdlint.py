@@ -35,17 +35,32 @@ import ast
 import json
 import re
 from collections import Counter
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Sequence
 
-__all__ = ["Finding", "RULES", "lint_source", "lint_file", "lint_paths",
-           "render_text", "render_json"]
+from ._astutil import (
+    _SCOPE_BARRIERS,
+    COLLECTIVES,
+    Finding,
+    _collective_op,
+    _final_identifier,
+    _is_comm_expr,
+    _target_names,
+    _walk_in_scope,
+)
+from .racecheck import OWNERSHIP_RULES, lint_ownership
+
+__all__ = ["Finding", "RULES", "SCHEDULE_RULES", "OWNERSHIP_RULES",
+           "RULE_DOCS", "lint_source", "lint_file", "lint_paths",
+           "render_text", "render_json", "render_github",
+           "suppression_hint"]
 
 # ---------------------------------------------------------------------------
 # rule catalog
 # ---------------------------------------------------------------------------
-RULES: dict[str, str] = {
+#: Collective-*schedule* rules implemented by this module.
+SCHEDULE_RULES: dict[str, str] = {
     "SPMD001": "rank-divergent collective: the arms of a rank-dependent "
                "branch issue different collectives",
     "SPMD002": "conditional early exit (return/raise/continue/break) under "
@@ -60,12 +75,22 @@ RULES: dict[str, str] = {
                "(ordering is not deterministic across ranks)",
 }
 
-#: Collective method names recognized on a communicator receiver.
-COLLECTIVES = frozenset({
-    "barrier", "bcast", "gather", "allgather", "scatter", "alltoall",
-    "allreduce", "reduce", "scan", "exscan", "allgatherv", "gatherv",
-    "reduce_scatter", "alltoallv", "split",
-})
+#: Every rule the ``repro check`` pass knows: schedule rules (this module)
+#: plus buffer-ownership rules (:mod:`.racecheck`).
+RULES: dict[str, str] = {**SCHEDULE_RULES, **OWNERSHIP_RULES}
+
+#: Where each rule is documented (repo-relative anchor into DESIGN.md).
+RULE_DOCS: dict[str, str] = {
+    **{rule: "DESIGN.md#8-spmd-correctness-suite"
+       for rule in SCHEDULE_RULES},
+    **{rule: "DESIGN.md#9-buffer-ownership-model"
+       for rule in OWNERSHIP_RULES},
+}
+
+
+def suppression_hint(rule: str) -> str:
+    """The inline comment that suppresses ``rule`` on the flagged line."""
+    return f"# spmdlint: disable={rule}"
 
 #: Collectives whose result is identical on every rank.
 UNIFORM_RESULT = frozenset(
@@ -85,24 +110,6 @@ REDUCTIONS = frozenset(
 
 # Expression classification lattice.
 REPLICATED, RANK_LOCAL, RANK_DEPENDENT = 0, 1, 2
-
-
-@dataclass
-class Finding:
-    """One lint finding (or suppressed would-be finding)."""
-
-    rule: str
-    message: str
-    path: str
-    line: int
-    col: int
-    function: str = "<module>"
-    suppressed: bool = False
-
-    def format(self) -> str:
-        tag = " (suppressed)" if self.suppressed else ""
-        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
-                f"[{self.function}] {self.message}{tag}")
 
 
 # ---------------------------------------------------------------------------
@@ -136,30 +143,8 @@ def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
 
 
 # ---------------------------------------------------------------------------
-# collective-site recognition
+# collective-site recognition (shared primitives live in ._astutil)
 # ---------------------------------------------------------------------------
-def _final_identifier(node: ast.expr) -> str | None:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
-
-
-def _is_comm_expr(node: ast.expr) -> bool:
-    ident = _final_identifier(node)
-    return ident is not None and "comm" in ident.lower()
-
-
-def _collective_op(call: ast.Call) -> str | None:
-    """Name of the collective when ``call`` is ``<comm>.{op}(...)``."""
-    fn = call.func
-    if (isinstance(fn, ast.Attribute) and fn.attr in COLLECTIVES
-            and _is_comm_expr(fn.value)):
-        return fn.attr
-    return None
-
-
 def _forwards_comm(call: ast.Call) -> bool:
     """True when the call passes a communicator onward (indirect site)."""
     for arg in list(call.args) + [kw.value for kw in call.keywords]:
@@ -177,21 +162,6 @@ def _site_label(call: ast.Call) -> str | None:
         ident = _final_identifier(call.func)
         return f"call:{ident or '<dynamic>'}"
     return None
-
-
-_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
-                   ast.Lambda)
-
-
-def _walk_in_scope(node: ast.AST) -> Iterable[ast.AST]:
-    """Walk a subtree without descending into nested function/class scopes."""
-    stack = list(ast.iter_child_nodes(node))
-    while stack:
-        child = stack.pop()
-        if isinstance(child, _SCOPE_BARRIERS):
-            continue
-        yield child
-        stack.extend(ast.iter_child_nodes(child))
 
 
 def _sites_in(node: ast.AST) -> list[tuple[str, ast.Call]]:
@@ -277,19 +247,6 @@ def _classify(node: ast.AST | None, env: _Env) -> int:
         if isinstance(child, (ast.expr, ast.keyword)):
             level = max(level, _classify(child, env))
     return level
-
-
-def _target_names(target: ast.AST) -> list[str]:
-    if isinstance(target, ast.Name):
-        return [target.id]
-    if isinstance(target, (ast.Tuple, ast.List)):
-        out: list[str] = []
-        for elt in target.elts:
-            out.extend(_target_names(elt))
-        return out
-    if isinstance(target, ast.Starred):
-        return _target_names(target.value)
-    return []  # subscript/attribute stores do not (re)bind a name
 
 
 def _infer_env(fn: ast.AST, params: Sequence[str]) -> _Env:
@@ -630,6 +587,7 @@ def lint_source(source: str, path: str = "<string>",
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             findings.extend(_FunctionLinter(node, path, selected).run())
+    findings.extend(lint_ownership(tree, path, selected))
     for f in findings:
         line_rules = per_line.get(f.line, set())
         if ("ALL" in file_wide or f.rule in file_wide
@@ -676,12 +634,41 @@ def render_text(findings: Sequence[Finding],
 
 
 def render_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable report: rule counts plus every finding."""
+    """Machine-readable report: rule counts plus every finding.
+
+    Each finding carries its rule's documentation anchor (``doc``) and the
+    exact inline comment that would suppress it (``suppress``), so CI
+    consumers can surface actionable context without a rule lookup table.
+    """
     active = [f for f in findings if not f.suppressed]
+    counts = Counter(f.rule for f in active)
     payload = {
-        "findings": [asdict(f) for f in findings],
-        "counts": dict(Counter(f.rule for f in active)),
+        "findings": [
+            {**asdict(f),
+             "doc": RULE_DOCS.get(f.rule, "DESIGN.md"),
+             "suppress": suppression_hint(f.rule)}
+            for f in findings
+        ],
+        "counts": {rule: counts.get(rule, 0) for rule in sorted(RULES)},
         "total": len(active),
         "suppressed": sum(1 for f in findings if f.suppressed),
     }
     return json.dumps(payload, indent=2)
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``).
+
+    One ``::error`` command per unsuppressed finding; GitHub renders them
+    inline on the PR diff.  Messages are single-line by construction.
+    """
+    lines = []
+    for f in findings:
+        if f.suppressed:
+            continue
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule} [{f.function}]::{f.message} "
+            f"(suppress: {suppression_hint(f.rule)}; "
+            f"docs: {RULE_DOCS.get(f.rule, 'DESIGN.md')})")
+    return "\n".join(lines)

@@ -14,10 +14,11 @@ Wraps the library's end-to-end pipeline as a tool:
   one);
 * ``serve`` — start the persistent analytics engine over one resident
   graph and drive it with a query script (see ``repro.service``);
-* ``check`` — run the ``spmdlint`` static SPMD-correctness pass over
-  Python sources (see ``repro.check``); ``--strict`` makes unsuppressed
+* ``check`` — run the static SPMD-correctness passes (schedule rules
+  SPMD001–005 plus buffer-ownership rules SPMD006–008, see
+  ``repro.check``) over Python sources; ``--strict`` makes unsuppressed
   findings fail the process, ``--format json`` emits machine-readable
-  output.
+  output and ``--format github`` emits workflow ``::error`` annotations.
 """
 
 from __future__ import annotations
@@ -440,7 +441,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 def _cmd_check(args: argparse.Namespace) -> int:
     from .check import RULES
-    from .check.spmdlint import lint_paths, render_json, render_text
+    from .check.spmdlint import (
+        lint_paths,
+        render_github,
+        render_json,
+        render_text,
+    )
 
     paths = args.paths or [Path(__file__).resolve().parent]
     select = None
@@ -454,6 +460,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     findings = lint_paths(paths, select=select)
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "github":
+        out = render_github(findings)
+        if out:
+            print(out)
     else:
         print(render_text(findings, show_suppressed=args.show_suppressed))
     unsuppressed = sum(1 for f in findings if not f.suppressed)
@@ -554,7 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the installed repro package)")
     k.add_argument("--strict", action="store_true",
                    help="exit 1 when any unsuppressed finding remains")
-    k.add_argument("--format", choices=("text", "json"), default="text")
+    k.add_argument("--format", choices=("text", "json", "github"),
+                   default="text",
+                   help="output style: human text, machine JSON (with rule "
+                        "doc anchors and suppression syntax), or GitHub "
+                        "Actions ::error annotations")
     k.add_argument("--select", nargs="*", metavar="SPMDxxx",
                    help="restrict to these rule ids (default: all)")
     k.add_argument("--show-suppressed", action="store_true",

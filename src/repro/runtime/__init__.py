@@ -22,6 +22,7 @@ Example
 
 from .comm import VERIFY_ENV, Communicator, World, verify_from_env
 from .errors import (
+    BufferRaceError,
     CollectiveMismatchError,
     CommUsageError,
     RankAborted,
@@ -29,6 +30,7 @@ from .errors import (
     SpmdError,
 )
 from .launcher import run_spmd, spmd_traces
+from .sanitize import SANITIZE_ENV, GuardedBuffer, sanitize_from_env
 from .reduceops import (
     BAND,
     BOR,
@@ -68,8 +70,12 @@ __all__ = [
     "CommUsageError",
     "CollectiveMismatchError",
     "SlotRaceError",
+    "BufferRaceError",
+    "GuardedBuffer",
     "VERIFY_ENV",
     "verify_from_env",
+    "SANITIZE_ENV",
+    "sanitize_from_env",
     "CommEvent",
     "CommTrace",
     "aggregate_summaries",

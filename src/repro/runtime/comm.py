@@ -28,6 +28,18 @@ incompatible payloads.  It also detects write-after-write races on the
 shared slots (:class:`~repro.runtime.errors.SlotRaceError`).  The static
 companion is :mod:`repro.check` ("spmdlint").
 
+Payload *ownership* is a separate hazard: the object collectives default
+to ``copy=True``, handing every receiver a private deep copy, while
+``copy=False`` opts into zero-copy sharing of the contributor's actual
+objects.  The opt-in **buffer sanitizer** (``World(..., sanitize=True)``
+or ``REPRO_SANITIZE_BUFFERS=1``, see :mod:`~repro.runtime.sanitize`)
+polices the ``copy=False`` path: borrowed ndarrays come back read-only
+(escape with :meth:`Communicator.own`), publishes are fingerprinted per
+barrier epoch, and any illegal write raises
+:class:`~repro.runtime.errors.BufferRaceError` on every rank naming the
+writing rank, collective call index, and epoch window.  The static
+companion rules are SPMD006–008 (:mod:`repro.check.racecheck`).
+
 The design deliberately exposes the same cost structure as real MPI: an
 ``alltoallv`` really does materialize per-destination buffers and a
 concatenated receive buffer, so communication volume measurements are exact.
@@ -53,9 +65,18 @@ from .errors import (
     SlotRaceError,
 )
 from .reduceops import ReduceOp, SUM
+from .sanitize import (
+    RACE_REASON,
+    SANITIZE_ENV,
+    BufferSanitizer,
+    borrow_payload,
+    own_payload,
+    sanitize_from_env,
+)
 from .trace import CommTrace
 
-__all__ = ["Communicator", "World", "VERIFY_ENV", "verify_from_env"]
+__all__ = ["Communicator", "World", "VERIFY_ENV", "verify_from_env",
+           "SANITIZE_ENV", "sanitize_from_env"]
 
 #: Environment variable enabling the runtime schedule verifier by default.
 VERIFY_ENV = "REPRO_VERIFY_COLLECTIVES"
@@ -110,12 +131,15 @@ class World:
     """
 
     def __init__(self, size: int, timeout: float | None = None,
-                 verify: bool | None = None):
+                 verify: bool | None = None, sanitize: bool | None = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.timeout = timeout
         self.verify = verify_from_env() if verify is None else bool(verify)
+        self.sanitize = (sanitize_from_env() if sanitize is None
+                         else bool(sanitize))
+        self.sanitizer = BufferSanitizer(size) if self.sanitize else None
         self.barrier = AbortableBarrier(size, timeout=timeout)
         self.slots: list[Any] = [None] * size
         self.verify_slots: list[Any] = [None] * size if self.verify else []
@@ -174,6 +198,7 @@ class Communicator:
             # The slot array is fully populated (the generation completed),
             # so re-derive the same diagnosis instead of reporting a bare
             # abort.
+            self._race_from_abort(exc)
             peers = {r: s for r, s in enumerate(world.verify_slots)
                      if s != mine}
             if _MISMATCH_REASON in str(exc) and peers:
@@ -186,6 +211,27 @@ class Communicator:
             raise CollectiveMismatchError(self.rank, mine, peers)
         return waited
 
+    def _race_from_abort(self, exc: RankAborted) -> None:
+        """Convert a sanitizer-triggered abort into the shared diagnosis.
+
+        The rank that detected the race stored a :class:`BufferRaceError`
+        on the sanitizer before aborting; peers unblocked by that abort
+        re-raise a per-rank clone instead of a bare RankAborted, so the
+        race is named identically on every rank.
+        """
+        sanitizer = self._world.sanitizer
+        if sanitizer is not None and RACE_REASON in str(exc):
+            flagged = sanitizer.flagged
+            if flagged is not None:
+                raise flagged.for_rank(self.rank) from None
+
+    def _wait(self) -> float:
+        try:
+            return self._world.barrier.wait()
+        except RankAborted as exc:
+            self._race_from_abort(exc)
+            raise
+
     def _run(self, op: str, contribution: Any, combine, bytes_sent: int,
              msg_count: int, sig: tuple[Any, ...] = ()):
         """Execute one collective: publish, sync, combine, sync.
@@ -194,13 +240,18 @@ class Communicator:
         list after the entry barrier; a second barrier protects slot reuse.
         In verify mode a signature exchange precedes the payload (see
         :meth:`_verify_schedule`) and slot hygiene is checked: a rank must
-        find its own slot released before publishing into it again.
+        find its own slot released before publishing into it again.  In
+        sanitize mode the entry advances this rank's barrier epoch and
+        re-checks its outstanding copy=False publish fingerprints.
         """
         trace = self.trace
         t_enter = trace.mark_enter()
         world = self._world
         verify = world.verify
         verify_wait = 0.0
+        if world.sanitizer is not None:
+            world.sanitizer.tick(self.rank, self._call_index)
+            world.sanitizer.check(world, self.rank)
         if verify:
             verify_wait = self._verify_schedule(op, sig)
             prev = world.slots[self.rank]
@@ -212,11 +263,11 @@ class Communicator:
                     f"(barrier protocol bypassed?)")
         self._call_index += 1
         world.slots[self.rank] = contribution
-        wait_s = verify_wait + world.barrier.wait()
+        wait_s = verify_wait + self._wait()
         t0 = time.perf_counter()
         result, bytes_recv = combine(world.slots)
         xfer_s = time.perf_counter() - t0
-        xfer_s += world.barrier.wait()
+        xfer_s += self._wait()
         if verify:
             world.slots[self.rank] = _CONSUMED
         trace.record(op, bytes_sent, bytes_recv, msg_count, wait_s, xfer_s, t_enter)
@@ -247,71 +298,158 @@ class Communicator:
     # ------------------------------------------------------------------
     # object collectives (mpi4py lowercase style)
     # ------------------------------------------------------------------
+    # Ownership model: with ``copy=True`` (default) every receiver gets a
+    # private deep copy of the payload's mutable buffers (contributors keep
+    # their own objects as-is), so results are always safe to mutate.
+    # ``copy=False`` opts into zero-copy sharing of the contributor's
+    # actual objects; under the sanitizer those borrows come back as
+    # read-only GuardedBuffer views and the publish is fingerprinted.
     def _check_root(self, root: int) -> None:
         if not (0 <= root < self.size):
             raise CommUsageError(f"root {root} out of range for size {self.size}")
 
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Broadcast ``obj`` from ``root`` to all ranks; returns it everywhere."""
+    def _adopt(self, value: Any, src: int, op: str, call_index: int,
+               copy: bool) -> Any:
+        """Apply the ownership policy to one payload received from ``src``."""
+        if src == self.rank:
+            return value  # own contribution: already owned
+        if copy:
+            return own_payload(value)
+        world = self._world
+        if world.sanitizer is not None:
+            return borrow_payload(
+                value,
+                world.sanitizer.info(world, src, self.rank, op, call_index))
+        return value
+
+    def _guard_publish(self, op: str, call_index: int, payload: Any) -> None:
+        """Register a copy=False publish with the sanitizer (if enabled)."""
+        sanitizer = self._world.sanitizer
+        if sanitizer is not None:
+            sanitizer.guard(self.rank, op, call_index, payload)
+
+    def own(self, obj: Any) -> Any:
+        """Copy-escape a borrowed collective payload.
+
+        Returns a deep copy of ``obj``'s mutable buffers — writable plain
+        ndarrays, rebuilt containers — that is safe to mutate, publish, or
+        cache without affecting any peer rank.  Idempotent on owned data.
+        """
+        return own_payload(obj)
+
+    def bcast(self, obj: Any, root: int = 0, copy: bool = True) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks; returns it everywhere.
+
+        With ``copy=False`` non-root ranks receive the root's *actual*
+        object (zero-copy, but writes alias every rank); under the
+        sanitizer such borrows are read-only — escape with :meth:`own`.
+        """
         self._check_root(root)
         nb = _nbytes(obj) if self.rank == root else 0
+        idx = self._call_index
+        if self.rank == root and not copy:
+            self._guard_publish("bcast", idx, obj)
 
         def combine(slots):
             val = slots[root]
-            return val, (0 if self.rank == root else _nbytes(val))
+            nbr = 0 if self.rank == root else _nbytes(val)
+            return self._adopt(val, root, "bcast", idx, copy), nbr
 
         return self._run("bcast", obj if self.rank == root else None, combine,
                          nb * (self.size - 1) if self.rank == root else 0,
                          self._tree_msgs, sig=("root", root))
 
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """Gather one object per rank into a list at ``root`` (None elsewhere)."""
+    def gather(self, obj: Any, root: int = 0,
+               copy: bool = True) -> list[Any] | None:
+        """Gather one object per rank into a list at ``root`` (None elsewhere).
+
+        The list itself is always fresh; with ``copy=False`` its *elements*
+        are the contributors' actual objects.
+        """
         self._check_root(root)
+        idx = self._call_index
+        if self.rank != root and not copy:
+            self._guard_publish("gather", idx, obj)
 
         def combine(slots):
             if self.rank == root:
-                vals = list(slots)
-                return vals, sum(_nbytes(v) for v in vals)
+                vals = [self._adopt(v, src, "gather", idx, copy)
+                        for src, v in enumerate(slots)]
+                return vals, sum(_nbytes(v) for v in slots)
             return None, 0
 
         return self._run("gather", obj, combine, _nbytes(obj), 1,
                          sig=("root", root))
 
-    def allgather(self, obj: Any) -> list[Any]:
-        """Gather one object per rank into a list on every rank."""
+    def allgather(self, obj: Any, copy: bool = True) -> list[Any]:
+        """Gather one object per rank into a list on every rank.
+
+        The list itself is always fresh; with ``copy=False`` its *elements*
+        are the contributors' actual objects.
+        """
+        idx = self._call_index
+        if not copy:
+            self._guard_publish("allgather", idx, obj)
 
         def combine(slots):
-            vals = list(slots)
-            return vals, sum(_nbytes(v) for v in vals)
+            vals = [self._adopt(v, src, "allgather", idx, copy)
+                    for src, v in enumerate(slots)]
+            return vals, sum(_nbytes(v) for v in slots)
 
         return self._run("allgather", obj, combine,
                          _nbytes(obj) * (self.size - 1), self._tree_msgs)
 
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        """Scatter a length-``size`` sequence from ``root``; returns own element."""
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0,
+                copy: bool = True) -> Any:
+        """Scatter a length-``size`` sequence from ``root``; returns own element.
+
+        With ``copy=False`` each rank receives the root's actual element
+        object (the root's own element is never copied in either mode).
+        """
         self._check_root(root)
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise CommUsageError("scatter requires a length-size sequence at root")
+        idx = self._call_index
+        if self.rank == root and not copy:
+            # The root's own element aliases only itself; guard the rest.
+            self._guard_publish(
+                "scatter", idx,
+                [o for i, o in enumerate(objs) if i != root])
 
         def combine(slots):
             val = slots[root][self.rank]
-            return val, (0 if self.rank == root else _nbytes(val))
+            nbr = 0 if self.rank == root else _nbytes(val)
+            return self._adopt(val, root, "scatter", idx, copy), nbr
 
         sent = sum(_nbytes(o) for o in objs) if self.rank == root else 0
         return self._run("scatter", objs if self.rank == root else None,
                          combine, sent, 1 if self.rank == root else 0,
                          sig=("root", root))
 
-    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
-        """Personalized all-to-all of Python objects (``objs[d]`` goes to rank d)."""
+    def alltoall(self, objs: Sequence[Any], copy: bool = True) -> list[Any]:
+        """Personalized all-to-all of Python objects (``objs[d]`` goes to rank d).
+
+        The result list is always fresh; with ``copy=False`` its elements
+        are the senders' actual objects (the self-to-self element is never
+        copied in either mode).
+        """
         if len(objs) != self.size:
             raise CommUsageError(
                 f"alltoall needs exactly {self.size} items, got {len(objs)}")
+        idx = self._call_index
+        if not copy:
+            # objs[rank] is delivered back to self; guard only what peers see.
+            self._guard_publish(
+                "alltoall", idx,
+                [o for i, o in enumerate(objs) if i != self.rank])
 
         def combine(slots):
-            vals = [slots[src][self.rank] for src in range(self.size)]
-            return vals, sum(_nbytes(v) for v in vals)
+            vals = [self._adopt(slots[src][self.rank], src, "alltoall",
+                                idx, copy)
+                    for src in range(self.size)]
+            return vals, sum(_nbytes(slots[src][self.rank])
+                             for src in range(self.size))
 
         sent = sum(_nbytes(o) for i, o in enumerate(objs) if i != self.rank)
         return self._run("alltoall", list(objs), combine, sent, self.size - 1)
@@ -512,7 +650,8 @@ class Communicator:
         if self.rank == leader:
             group_world = World(len(ranks_in_group),
                                 timeout=self._world.timeout,
-                                verify=self._world.verify)
+                                verify=self._world.verify,
+                                sanitize=self._world.sanitize)
             outgoing = [group_world if r in ranks_in_group else None
                         for r in range(self.size)]
         else:

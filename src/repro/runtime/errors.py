@@ -16,6 +16,7 @@ __all__ = [
     "CommUsageError",
     "CollectiveMismatchError",
     "SlotRaceError",
+    "BufferRaceError",
 ]
 
 
@@ -108,3 +109,55 @@ class SlotRaceError(RuntimeError):
     barrier protocol was bypassed (e.g. two communicators sharing one
     ``(world, rank)`` pair, or user code poking ``World.slots`` directly).
     """
+
+
+class BufferRaceError(RuntimeError):
+    """A shared collective payload was written outside its ownership epoch.
+
+    Raised by the opt-in buffer sanitizer (``World(..., sanitize=True)`` or
+    ``REPRO_SANITIZE_BUFFERS=1``) when a rank writes through a payload it
+    only *borrowed* from an aliasing collective (``bcast``/``scatter``/
+    ``gather``/``allgather``/``alltoall`` with ``copy=False``), or when a
+    publisher mutates a buffer its peers may still be reading.  Every rank
+    of the world raises — each names itself in ``detected_by``; the blamed
+    writer is the same everywhere.
+
+    Attributes
+    ----------
+    writing_rank:
+        The rank whose write was detected.
+    op / call_index:
+        The collective call that shared the buffer (per-rank call index, as
+        used by the schedule verifier's signatures).
+    window:
+        ``(publish_epoch, detect_epoch)`` barrier-epoch pair bounding when
+        the illegal write happened (epochs are per-rank collective call
+        indices, i.e. entries of the sanitizer's vector clock).
+    publisher_rank:
+        The rank that contributed the buffer to the collective.
+    detected_by:
+        The rank this instance was raised on.
+    """
+
+    def __init__(self, writing_rank: int, op: str, call_index: int,
+                 window: tuple[int, int], publisher_rank: int,
+                 detected_by: int):
+        self.writing_rank = writing_rank
+        self.op = op
+        self.call_index = call_index
+        self.window = (int(window[0]), int(window[1]))
+        self.publisher_rank = publisher_rank
+        self.detected_by = detected_by
+        super().__init__(
+            f"buffer ownership race: rank {writing_rank} wrote to the "
+            f"shared payload of '{op}' call #{call_index} published by "
+            f"rank {publisher_rank} (barrier epoch window "
+            f"{self.window[0]}..{self.window[1]}, detected on rank "
+            f"{detected_by}); copy-escape with comm.own() or keep the "
+            f"default copy=True"
+        )
+
+    def for_rank(self, rank: int) -> "BufferRaceError":
+        """Clone this diagnosis as seen from another rank."""
+        return BufferRaceError(self.writing_rank, self.op, self.call_index,
+                               self.window, self.publisher_rank, rank)

@@ -34,6 +34,7 @@ def run_spmd(
     timeout: float | None = 120.0,
     collect_traces: bool = True,
     verify: bool | None = None,
+    sanitize: bool | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
@@ -58,6 +59,13 @@ def run_spmd(
         :class:`~repro.runtime.errors.CollectiveMismatchError` instead of
         hanging).  ``None`` (default) defers to the
         ``REPRO_VERIFY_COLLECTIVES`` environment variable.
+    sanitize:
+        Enable the buffer-ownership sanitizer for this world (copy=False
+        collective results become read-only borrows, publishes are
+        fingerprint-checked per barrier epoch; illegal writes raise
+        :class:`~repro.runtime.errors.BufferRaceError` on every rank).
+        ``None`` (default) defers to the ``REPRO_SANITIZE_BUFFERS``
+        environment variable.
 
     Returns
     -------
@@ -73,7 +81,7 @@ def run_spmd(
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
 
-    world = World(nranks, timeout=timeout, verify=verify)
+    world = World(nranks, timeout=timeout, verify=verify, sanitize=sanitize)
     comms = [Communicator(world, r) for r in range(nranks)]
     results: list[Any] = [None] * nranks
     failures: dict[int, BaseException] = {}

@@ -8,7 +8,10 @@ The fingerprint changes whenever the resident graph does, so a reload can
 never serve stale results.
 
 Cached values are returned by reference (zero-copy serving); callers must
-treat them as immutable.
+treat them as immutable.  :meth:`ResultCache.put` enforces that for the
+common case by freezing every ndarray reachable in the stored value
+(``writeable=False``), so an accidental in-place edit of a served result
+raises instead of silently corrupting every later cache hit.
 """
 
 from __future__ import annotations
@@ -19,7 +22,24 @@ from typing import Any, Hashable, Mapping
 
 import numpy as np
 
-__all__ = ["ResultCache", "canonical_params", "cache_key"]
+__all__ = ["ResultCache", "canonical_params", "cache_key", "freeze_result"]
+
+
+def freeze_result(value: Any) -> Any:
+    """Mark every ndarray reachable in ``value`` read-only, in place.
+
+    Containers (dict/list/tuple) are walked recursively; anything else is
+    left untouched.  Returns ``value`` for call-site convenience.
+    """
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif isinstance(value, dict):
+        for v in value.values():
+            freeze_result(v)
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            freeze_result(v)
+    return value
 
 
 def canonical_params(params: Mapping[str, Any]) -> tuple:
@@ -83,6 +103,7 @@ class ResultCache:
         """Insert (or refresh) ``key``, evicting the LRU entry when full."""
         if self.capacity == 0:
             return
+        freeze_result(value)
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)

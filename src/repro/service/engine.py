@@ -347,6 +347,12 @@ class AnalyticsEngine:
     verify:
         Enable the runtime collective-schedule verifier on every per-job
         world (``None`` defers to ``REPRO_VERIFY_COLLECTIVES``).
+    sanitize:
+        Enable the buffer-ownership sanitizer on every per-job world
+        (``None`` defers to ``REPRO_SANITIZE_BUFFERS``).  Borrowed
+        collective payloads become read-only and cross-rank writes raise
+        :class:`~repro.runtime.BufferRaceError` instead of corrupting a
+        peer's query mid-flight.
     """
 
     def __init__(
@@ -368,6 +374,7 @@ class AnalyticsEngine:
         default_timeout: float | None = 60.0,
         build_timeout: float | None = 300.0,
         verify: bool | None = None,
+        sanitize: bool | None = None,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -385,6 +392,9 @@ class AnalyticsEngine:
         # main beneficiary: a divergent query raises instead of poisoning
         # the resident world.
         self.verify = verify
+        # Buffer-ownership sanitizing for every per-job world (None defers
+        # to REPRO_SANITIZE_BUFFERS); see repro.runtime.sanitize.
+        self.sanitize = sanitize
         self._closed = False
         self._paused = False
         self._lock = threading.Lock()
@@ -524,7 +534,8 @@ class AnalyticsEngine:
     def _run_collective(self, fn, timeout: float | None
                         ) -> tuple[list[Any], dict[int, BaseException]]:
         """Run ``fn(comm, state)`` once per rank over a fresh world."""
-        world = World(self.nranks, timeout=timeout, verify=self.verify)
+        world = World(self.nranks, timeout=timeout, verify=self.verify,
+                      sanitize=self.sanitize)
         comms = [Communicator(world, r) for r in range(self.nranks)]
         report = _RankReport(self.nranks)
         for r in range(self.nranks):

@@ -1,0 +1,36 @@
+# ruff: noqa
+"""Seeded violation: in-place mutation of a borrowed collective result.
+
+``copy=False`` hands every rank a reference to the contributor's actual
+object; writing through the borrow silently corrupts every peer's data.
+Each function below must raise exactly one SPMD006 finding.
+"""
+
+
+def mutate_borrowed_bcast(comm, weights):
+    scores = comm.bcast(weights, root=0, copy=False)
+    scores[0] = -1.0  # writes through the shared alias
+    return scores
+
+
+def mutate_borrowed_view(comm, weights):
+    block = comm.bcast(weights, root=0, copy=False)
+    head = block[:4]  # a slice still aliases the shared buffer
+    head += 1.0
+    return block
+
+
+def mutate_allgather_element(comm, local):
+    vals = comm.allgather(local, copy=False)
+    vals[0][0] = 7  # element 0 is a peer rank's actual buffer
+    return vals
+
+
+def mutate_through_helper(comm, weights):
+    got = comm.scatter(weights, root=0, copy=False)
+    _normalize(got)  # helper writes its parameter in place
+    return got
+
+
+def _normalize(arr):
+    arr /= arr.sum()

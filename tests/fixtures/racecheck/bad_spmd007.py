@@ -1,0 +1,26 @@
+# ruff: noqa
+"""Seeded violation: buffer mutated after being published with copy=False.
+
+The publisher keeps a writable reference to the payload it shared; writing
+through it before the borrowers are done corrupts what peers are reading.
+Each function below must raise exactly one SPMD007 finding.
+"""
+import numpy as np
+
+
+def publish_then_write(comm, n):
+    buf = np.arange(n, dtype=np.float64)
+    comm.allgather(buf, copy=False)  # peers now alias buf
+    buf[0] = 99.0  # publish-side write race
+    return buf
+
+
+def publish_then_helper_write(comm, n):
+    buf = np.zeros(n)
+    comm.bcast(buf, root=0, copy=False)
+    _scale(buf, 2.0)  # helper mutates the published buffer
+    return buf
+
+
+def _scale(arr, factor):
+    arr *= factor

@@ -1,0 +1,34 @@
+# ruff: noqa
+"""Seeded violation: borrowed payload stored to a shared location.
+
+A borrow is only valid until the next barrier epoch; stashing it in a
+module global, an object attribute, or a caller-visible container lets it
+outlive the epoch while still aliasing peer ranks' buffers.  Each function
+below must raise exactly one SPMD008 finding.
+"""
+
+_LATEST = None
+
+
+def stash_in_global(comm, payload):
+    global _LATEST
+    view = comm.bcast(payload, root=0, copy=False)
+    _LATEST = view  # module global outlives the borrow epoch
+    return len(view)
+
+
+def stash_in_state(comm, state, local):
+    vals = comm.allgather(local, copy=False)
+    state["peers"] = vals  # caller-visible dict
+    return len(vals)
+
+
+def stash_on_self(self, comm, local):
+    got = comm.scatter(local, root=0, copy=False)
+    self.cache = got  # attribute store: the object outlives the epoch
+    return 1
+
+
+def leak_in_result(comm, local):
+    vals = comm.allgather(local, copy=False)
+    return {"peers": vals[0]}  # result dict escapes to the caller

@@ -1,0 +1,36 @@
+# ruff: noqa
+"""Correct ownership patterns: racecheck must stay quiet on this file."""
+import numpy as np
+
+
+def owned_by_default(comm, weights):
+    scores = comm.bcast(weights, root=0)  # copy=True default: owned
+    scores[0] = 1.0  # fine: private copy
+    return scores
+
+
+def copy_escape(comm, weights):
+    borrowed = comm.bcast(weights, root=0, copy=False)
+    mine = comm.own(borrowed)  # explicit copy-escape
+    mine += 1.0
+    return mine
+
+
+def explicit_copy_store(comm, state, local):
+    vals = comm.allgather(local, copy=False)
+    state["peer0"] = vals[0].copy()  # owned copy: safe to stash
+    return len(vals)
+
+
+def republish_fresh(comm, n):
+    buf = np.zeros(n)
+    comm.allgather(buf, copy=False)
+    buf = np.ones(n)  # re-binding ends the publish; not a mutation
+    buf[0] = 2.0  # fine: fresh owned buffer
+    return buf
+
+
+def read_only_borrow(comm, weights):
+    block = comm.bcast(weights, root=0, copy=False)
+    total = float(block.sum())  # reads never race
+    return total

@@ -1,0 +1,54 @@
+# ruff: noqa
+# spmdlint: disable-file  (deliberately seeded race: dynamic-layer fixture)
+"""Runtime fixture: publisher mutates its buffer after a copy=False share.
+
+Peers hold read-only borrows, so the publisher's retained writable
+reference is the only way the bytes can change; the sanitizer's publish
+fingerprint catches the drift at the publisher's next collective entry
+and every rank raises ``BufferRaceError`` blaming rank 0.
+
+Run directly (exit 0 = the race was caught exactly as specified)::
+
+    PYTHONPATH=src python tests/fixtures/racecheck/race_publish.py
+"""
+import sys
+
+import numpy as np
+
+from repro.runtime import BufferRaceError, SpmdError, run_spmd
+
+NRANKS = 2
+
+
+def job(comm):
+    mine = np.full(4, float(comm.rank))
+    gathered = comm.allgather(mine, copy=False)
+    if comm.rank == 0:
+        mine[0] = 123.0  # illegal: peers still borrow this buffer
+    comm.barrier()  # the next collective entry re-checks fingerprints
+    return float(gathered[0][0])
+
+
+def main() -> int:
+    try:
+        run_spmd(NRANKS, job, sanitize=True)
+    except SpmdError as err:
+        failures = err.failures
+        ok = (set(failures) == set(range(NRANKS))
+              and all(isinstance(e, BufferRaceError)
+                      for e in failures.values())
+              and all(e.writing_rank == 0 and e.publisher_rank == 0
+                      for e in failures.values())
+              and all(e.op == "allgather" for e in failures.values()))
+        if ok:
+            print("race_publish: BufferRaceError on all ranks, blaming "
+                  "the publisher (rank 0)")
+            return 0
+        print(f"race_publish: wrong diagnosis: {failures}")
+        return 1
+    print("race_publish: seeded race was NOT detected")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+# ruff: noqa
+# spmdlint: disable-file  (deliberately seeded race: dynamic-layer fixture)
+"""Runtime fixture: cross-rank write into a borrowed payload.
+
+With the sanitizer on, rank 1 writing into the buffer it borrowed from
+rank 0's ``bcast(copy=False)`` must raise ``BufferRaceError`` on EVERY
+rank, blaming rank 1 and bounding the epoch window.
+
+Run directly (exit 0 = the race was caught exactly as specified)::
+
+    PYTHONPATH=src python tests/fixtures/racecheck/race_write.py
+"""
+import sys
+
+import numpy as np
+
+from repro.runtime import BufferRaceError, SpmdError, run_spmd
+
+NRANKS = 3
+
+
+def job(comm):
+    data = np.arange(8.0) if comm.rank == 0 else None
+    shared = comm.bcast(data, root=0, copy=False)
+    if comm.rank == 1:
+        shared[3] = -1.0  # illegal: writes rank 0's actual buffer
+    comm.barrier()
+    return float(shared[3])
+
+
+def main() -> int:
+    try:
+        run_spmd(NRANKS, job, sanitize=True)
+    except SpmdError as err:
+        failures = err.failures
+        ok = (set(failures) == set(range(NRANKS))
+              and all(isinstance(e, BufferRaceError)
+                      for e in failures.values())
+              and all(e.writing_rank == 1 for e in failures.values())
+              and all(e.op == "bcast" and e.publisher_rank == 0
+                      for e in failures.values())
+              and all("epoch" in str(e) for e in failures.values()))
+        if ok:
+            print("race_write: BufferRaceError on all ranks, blaming rank 1")
+            return 0
+        print(f"race_write: wrong diagnosis: {failures}")
+        return 1
+    print("race_write: seeded race was NOT detected")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,300 @@
+# ruff: noqa
+"""Dynamic buffer-ownership sanitizer: copy semantics of the object
+collectives, guarded borrows, publish fingerprints, and the plumbing
+through run_spmd / World.split / AnalyticsEngine."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    BufferRaceError,
+    GuardedBuffer,
+    SANITIZE_ENV,
+    SpmdError,
+    run_spmd,
+    sanitize_from_env,
+)
+from repro.runtime.sanitize import fingerprint, own_payload
+
+
+def _race_failures(excinfo, nranks):
+    failures = excinfo.value.failures
+    assert set(failures) == set(range(nranks))
+    assert all(isinstance(e, BufferRaceError) for e in failures.values())
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# copy=True (the default): receivers own private copies
+# ---------------------------------------------------------------------------
+
+
+def test_bcast_default_copy_isolates_receivers():
+    def job(comm):
+        data = np.arange(4.0) if comm.rank == 0 else None
+        got = comm.bcast(data, root=0)
+        got[comm.rank % 4] = -1.0  # private copy: cannot affect peers
+        comm.barrier()
+        return got.tolist()
+
+    results = run_spmd(3, job)
+    # Each rank sees only its own write.
+    for rank, vals in enumerate(results):
+        expect = [0.0, 1.0, 2.0, 3.0]
+        expect[rank % 4] = -1.0
+        assert vals == expect
+
+
+def test_root_gets_its_own_object_back_from_bcast():
+    def job(comm):
+        data = np.arange(3.0) if comm.rank == 0 else None
+        got = comm.bcast(data, root=0)
+        return got is data if comm.rank == 0 else got is not None
+
+    assert all(run_spmd(2, job))
+
+
+def test_gather_allgather_default_copy_isolates():
+    def job(comm):
+        mine = np.full(2, float(comm.rank))
+        everyone = comm.allgather(mine)
+        at_root = comm.gather(mine, root=0)
+        # Mutating what we received must not leak into peers' contributions.
+        everyone[(comm.rank + 1) % comm.size][0] = 99.0
+        if comm.rank == 0:
+            at_root[1][0] = 77.0
+        comm.barrier()
+        return float(mine[0])
+
+    assert run_spmd(3, job) == [0.0, 1.0, 2.0]
+
+
+def test_scatter_alltoall_default_copy_isolates():
+    def job(comm):
+        parts = [np.full(2, float(i)) for i in range(comm.size)]
+        got = comm.scatter(parts, root=0)
+        got[0] = -5.0
+        swapped = comm.alltoall([np.full(1, float(comm.rank)) for _ in range(comm.size)])
+        swapped[0][0] = -7.0
+        comm.barrier()
+        # Root's outgoing list must be untouched by peers' writes.
+        return float(parts[1][0]) if comm.rank == 0 else None
+
+    assert run_spmd(2, job)[0] == 1.0
+
+
+def test_copy_false_aliases_payload_without_sanitizer():
+    # The zero-copy escape hatch really is zero-copy: peers share the
+    # publisher's buffer (which is exactly why the sanitizer exists).
+    def job(comm):
+        data = np.arange(4.0) if comm.rank == 0 else None
+        got = comm.bcast(data, root=0, copy=False)
+        if comm.rank == 1:
+            got[0] = 42.0
+        comm.barrier()
+        return float(got[0])
+
+    # sanitize=False pins the behavior even when REPRO_SANITIZE_BUFFERS=1
+    # is exported for the suite.
+    assert run_spmd(2, job, sanitize=False) == [42.0, 42.0]
+
+
+# ---------------------------------------------------------------------------
+# sanitize=True: borrowed writes raise on every rank with full provenance
+# ---------------------------------------------------------------------------
+
+
+def test_borrow_write_raises_on_every_rank_with_provenance():
+    def job(comm):
+        data = np.arange(8.0) if comm.rank == 0 else None
+        shared = comm.bcast(data, root=0, copy=False)
+        if comm.rank == 2:
+            shared[3] = -1.0
+        comm.barrier()
+        return float(shared[3])
+
+    with pytest.raises(SpmdError) as excinfo:
+        run_spmd(3, job, sanitize=True)
+    failures = _race_failures(excinfo, 3)
+    for rank, err in failures.items():
+        assert err.writing_rank == 2
+        assert err.publisher_rank == 0
+        assert err.op == "bcast"
+        assert err.call_index == 0
+        assert err.detected_by == rank
+        msg = str(err)
+        assert "rank 2" in msg and "bcast" in msg and "epoch" in msg
+
+
+def test_inplace_ufunc_on_borrow_raises():
+    def job(comm):
+        data = np.ones(4) if comm.rank == 0 else None
+        shared = comm.bcast(data, root=0, copy=False)
+        if comm.rank == 1:
+            shared += 1.0
+        comm.barrier()
+        return 0
+
+    with pytest.raises(SpmdError) as excinfo:
+        run_spmd(2, job, sanitize=True)
+    assert _race_failures(excinfo, 2)[0].writing_rank == 1
+
+
+def test_publisher_mutation_caught_by_fingerprint():
+    def job(comm):
+        mine = np.full(4, float(comm.rank))
+        comm.allgather(mine, copy=False)
+        if comm.rank == 0:
+            mine[0] = 123.0  # publisher writes while peers still borrow
+        comm.barrier()
+        return 0
+
+    with pytest.raises(SpmdError) as excinfo:
+        run_spmd(2, job, sanitize=True)
+    for err in _race_failures(excinfo, 2).values():
+        assert err.writing_rank == 0 and err.publisher_rank == 0
+        assert err.op == "allgather"
+        assert err.window[0] <= err.window[1]
+
+
+def test_borrows_are_read_only_guarded_views():
+    def job(comm):
+        data = np.arange(4.0) if comm.rank == 0 else None
+        shared = comm.bcast(data, root=0, copy=False)
+        if comm.rank == 0:
+            return type(shared) is np.ndarray  # publisher keeps its own
+        return (isinstance(shared, GuardedBuffer)
+                and not shared.flags.writeable)
+
+    assert all(run_spmd(2, job, sanitize=True))
+
+
+def test_reads_copies_and_out_of_place_ops_work_on_borrows():
+    def job(comm):
+        data = np.arange(4.0) if comm.rank == 0 else None
+        shared = comm.bcast(data, root=0, copy=False)
+        total = float(shared.sum())        # reads are fine
+        fresh = shared + 1.0               # out-of-place is fine
+        fresh[0] = 9.0                     # ... and yields writable output
+        mine = shared.copy()               # .copy() detaches from the guard
+        mine[1] = 8.0
+        comm.barrier()
+        return total + float(fresh[0]) + float(mine[1])
+
+    assert run_spmd(2, job, sanitize=True) == [23.0, 23.0]
+
+
+def test_own_escape_hatch_allows_mutation():
+    def job(comm):
+        data = np.arange(4.0) if comm.rank == 0 else None
+        shared = comm.bcast(data, root=0, copy=False)
+        mine = comm.own(shared)
+        mine[0] = 100.0 + comm.rank
+        comm.barrier()
+        return float(mine[0])
+
+    assert run_spmd(2, job, sanitize=True) == [100.0, 101.0]
+
+
+def test_reduce_results_are_owned_under_sanitizer():
+    def job(comm):
+        out = comm.allreduce(np.ones(4))
+        out[0] = float(comm.rank)  # reductions allocate; always writable
+        comm.barrier()
+        return float(out[0]) + float(out[1])
+
+    assert run_spmd(2, job, sanitize=True) == [2.0, 3.0]
+
+
+def test_split_subworld_inherits_sanitize():
+    def job(comm):
+        sub = comm.split(color=comm.rank % 2, key=comm.rank)
+        data = np.zeros(2) if sub.rank == 0 else None
+        shared = sub.bcast(data, root=0, copy=False)
+        if sub.rank == 1:
+            shared[0] = 1.0
+        sub.barrier()
+        comm.barrier()
+        return 0
+
+    with pytest.raises(SpmdError) as excinfo:
+        run_spmd(4, job, sanitize=True)
+    failures = excinfo.value.failures
+    assert failures and all(
+        isinstance(e, (BufferRaceError, Exception)) for e in failures.values())
+    assert any(isinstance(e, BufferRaceError) for e in failures.values())
+
+
+# ---------------------------------------------------------------------------
+# plumbing: env var, helpers, engine
+# ---------------------------------------------------------------------------
+
+
+def test_env_var_enables_sanitizer(monkeypatch):
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    assert sanitize_from_env() is False
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    assert sanitize_from_env() is True
+
+    def job(comm):
+        data = np.zeros(2) if comm.rank == 0 else None
+        shared = comm.bcast(data, root=0, copy=False)
+        if comm.rank == 1:
+            shared[0] = 5.0
+        comm.barrier()
+        return 0
+
+    with pytest.raises(SpmdError) as excinfo:
+        run_spmd(2, job)  # sanitize=None -> picked up from the env
+    _race_failures(excinfo, 2)
+    monkeypatch.setenv(SANITIZE_ENV, "0")
+    assert sanitize_from_env() is False
+
+
+def test_own_payload_copies_containers_and_passes_opaque():
+    arr = np.arange(3)
+    out = own_payload({"a": arr, "b": [arr, "txt"], "c": 7})
+    assert out["a"] is not arr and out["b"][0] is not arr
+    np.testing.assert_array_equal(out["a"], arr)
+    assert out["b"][1] == "txt" and out["c"] == 7
+    sentinel = object()
+    assert own_payload(sentinel) is sentinel  # opaque objects pass through
+
+
+def test_fingerprint_tracks_content_not_identity():
+    a = np.arange(4.0)
+    fp = fingerprint(a)
+    assert fingerprint(np.arange(4.0)) == fp
+    a[0] = 9.0
+    assert fingerprint(a) != fp
+    assert fingerprint({"x": [1, 2]}) == fingerprint({"x": [1, 2]})
+
+
+def test_engine_sanitized_results_match_plain(small_web):
+    from repro.service import AnalyticsEngine
+
+    n, edges = small_web
+    with AnalyticsEngine(2, edges=edges, n=n, sanitize=False) as plain, \
+            AnalyticsEngine(2, edges=edges, n=n, sanitize=True) as hard:
+        for kind, params in (("pagerank", {"max_iters": 8}),
+                             ("bfs", {"source": 0}),
+                             ("wcc", {})):
+            a = plain.query(kind, **params)
+            b = hard.query(kind, **params)
+            for key in a:
+                if isinstance(a[key], np.ndarray):
+                    np.testing.assert_array_equal(a[key], b[key])
+
+
+def test_cached_results_are_frozen(small_web):
+    from repro.service import AnalyticsEngine
+
+    n, edges = small_web
+    with AnalyticsEngine(2, edges=edges, n=n) as eng:
+        first = eng.query("bfs", source=0)
+        assert not first["levels"].flags.writeable
+        with pytest.raises(ValueError):
+            first["levels"][0] = 3
+        hit = eng.query("bfs", source=0)  # served from cache, still intact
+        assert hit["levels"][0] == 0

@@ -8,7 +8,14 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.check import RULES, lint_file, lint_paths, lint_source
+from repro.check import (
+    OWNERSHIP_RULES,
+    RULES,
+    SCHEDULE_RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 from repro.cli import main as cli_main
 
 FIXTURES = Path(__file__).parent / "fixtures" / "spmdlint"
@@ -18,10 +25,17 @@ def unsuppressed(findings):
     return [f for f in findings if not f.suppressed]
 
 
+def test_rule_catalog_is_partitioned():
+    assert set(RULES) == set(SCHEDULE_RULES) | set(OWNERSHIP_RULES)
+    assert not set(SCHEDULE_RULES) & set(OWNERSHIP_RULES)
+
+
 # ---------------------------------------------------------------------------
-# fixture corpus: every rule must fire on its seeded violation
+# fixture corpus: every schedule rule must fire on its seeded violation
+# (ownership rules SPMD006-008 have their own corpus in fixtures/racecheck,
+# exercised by test_racecheck.py)
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("rule", sorted(RULES))
+@pytest.mark.parametrize("rule", sorted(SCHEDULE_RULES))
 def test_rule_fires_on_its_fixture(rule):
     findings = unsuppressed(lint_file(FIXTURES / f"bad_{rule.lower()}.py"))
     assert findings, f"{rule} fixture produced no findings"
@@ -228,6 +242,36 @@ def test_cli_json_format(capsys):
     sample = payload["findings"][0]
     assert {"rule", "message", "path", "line", "col",
             "function", "suppressed"} <= set(sample)
+
+
+def test_cli_json_findings_carry_docs_and_suppression(capsys):
+    cli_main(["check", str(FIXTURES / "bad_spmd001.py"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    (finding,) = payload["findings"]
+    assert finding["doc"].startswith("DESIGN.md#")
+    assert finding["suppress"] == "# spmdlint: disable=SPMD001"
+    # Zero-filled counts cover the full catalog, schedule + ownership.
+    assert set(payload["counts"]) == set(RULES)
+
+
+def test_cli_github_format_emits_error_annotations(capsys):
+    rc = cli_main(["check", str(FIXTURES / "bad_spmd001.py"),
+                   "--format", "github"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "line=" in out and "col=" in out
+    assert "title=SPMD001" in out
+    assert "# spmdlint: disable=SPMD001" in out
+    assert "DESIGN.md#" in out
+    assert "\n" not in out.strip()  # one annotation, single line
+
+
+def test_cli_github_format_quiet_when_clean(capsys):
+    rc = cli_main(["check", str(FIXTURES / "clean.py"),
+                   "--format", "github"])
+    assert rc == 0
+    assert capsys.readouterr().out.strip() == ""
 
 
 def test_cli_unknown_rule_is_an_error(capsys):
