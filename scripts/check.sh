@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repository health check: lint (when ruff is available), the spmdlint SPMD
 # correctness pass (schedule + buffer-ownership rules, each with its
-# seeded-violation fixture corpus), the runtime race fixtures, and the
-# tier-1 suite twice (verifier on; then buffer sanitizer on as well).
+# seeded-violation fixture corpus), the runtime race fixtures, the comm
+# microbenchmark smoke guard (fails on >2x speedup regression vs the
+# recorded baseline), and the tier-1 suite twice (verifier on; then buffer
+# sanitizer on as well).
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
@@ -53,6 +55,9 @@ echo "== runtime race fixtures (sanitizer end-to-end) =="
 for script in tests/fixtures/racecheck/race_*.py; do
     PYTHONPATH=src python "$script"
 done
+
+echo "== comm microbenchmark smoke (persistent collectives) =="
+PYTHONPATH=src python benchmarks/bench_comm.py --smoke
 
 echo "== pytest (tier 1, collective-schedule verifier on) =="
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -139,8 +139,7 @@ def multi_source_bfs(
         codes = (np.concatenate(code_chunks) if code_chunks else _EMPTY)
         order = np.argsort(owners, kind="stable")
         counts = np.bincount(owners, minlength=comm.size)
-        send = np.split(codes[order], np.cumsum(counts)[:-1])
-        recv, _ = comm.alltoallv(send)
+        recv, _ = comm.alltoallv_flat(codes[order], counts)
 
         if len(recv):
             recv = sorted_unique(recv)  # same pair may arrive from n ranks

@@ -10,11 +10,28 @@ iteration.  §III-D1 describes two key optimizations, both implemented here:
 * **one-time id translation**: global→local hash-map lookups happen only
   while building the retained queues; iterations index plain arrays.
 
-:class:`HaloExchange` is the optimized path used by the analytics.
-:meth:`HaloExchange.exchange_with_ids` is the *unoptimized* rebuild-every-
-iteration variant (ids + values resent, hash map hit each time), kept so
-the ablation benchmark can measure exactly what the paper's optimization
-buys.
+On top of the paper's data-volume optimizations this layer removes the
+*runtime* per-iteration costs MPI codes avoid with persistent requests:
+:meth:`HaloExchange.exchange` drives a cached
+:class:`~repro.runtime.AlltoallvPlan` per (dtype, trailing-shape) — packing
+with one ``np.take`` into the plan's flat send buffer and scattering into
+its preallocated receive buffer, with no per-peer Python lists, per-call
+``np.split``/``np.concatenate``, or buffer re-validation.  Two further
+modes share the retained queues:
+
+* :meth:`HaloExchange.exchange_many` **fuses** k same-dtype 1-D arrays
+  into one ``(n, k)`` payload and one collective — message aggregation in
+  the Buluç-Madduri sense, paying one latency instead of k;
+* :meth:`HaloExchange.exchange_delta` ships only the values that changed
+  beyond a tolerance since they were last sent, switching between the
+  dense plan and a sparse (index, value) wire format on the *global*
+  fraction of active values — the direction-optimizing-BFS crossover idea
+  applied to halo traffic.
+
+:meth:`HaloExchange.exchange_with_ids` (rebuild ids every iteration) and
+:meth:`HaloExchange.exchange_list` (list-of-arrays ``alltoallv``) are the
+*unoptimized* variants, kept so the ablation benchmarks can measure what
+the retained queues and the flat-buffer plan each buy.
 """
 
 from __future__ import annotations
@@ -22,7 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.distgraph import DistGraph
-from ..runtime import Communicator
+from ..runtime import AlltoallvPlan, Communicator, SUM
 
 __all__ = ["HaloExchange"]
 
@@ -38,6 +55,13 @@ class HaloExchange:
     global ids of its ghosts owned by that peer; the peer translates them
     to local ids once and *retains* that send list.  Because both sides
     keep their queue order fixed, per-iteration payloads need no ids.
+
+    Plans are created lazily per (dtype, trailing-shape) and cached for
+    the lifetime of the exchange.  Creation is purely local (both count
+    vectors are known from setup), so laziness cannot desynchronize the
+    collective schedule — but the analytics must still touch dtypes in
+    the same order on every rank, which SPMD symmetry gives for free; a
+    divergent order shows up as a plan-id mismatch in the verifier.
     """
 
     def __init__(self, comm: Communicator, g: DistGraph):
@@ -50,21 +74,33 @@ class HaloExchange:
         # every subsequent receive.
         order = np.argsort(g.ghost_tasks, kind="stable")
         self._ghost_lids = (n_loc + order).astype(np.int64)
-        req_counts = np.bincount(g.ghost_tasks, minlength=p)
+        req_counts = np.bincount(g.ghost_tasks, minlength=p).astype(np.int64)
         req_gids = g.unmap[self._ghost_lids]
-        splits = np.cumsum(req_counts)[:-1]
-        request_lists = np.split(req_gids, splits)
 
         # Peers answer with the ids they were asked for, in the order asked.
         with comm.region("halo.setup"):
-            recv_gids, recv_counts = comm.alltoallv(request_lists)
+            recv_gids, recv_counts = comm.alltoallv_flat(req_gids, req_counts)
         send_lids = g.map.get(recv_gids)
         if len(send_lids) and (send_lids.min() < 0 or send_lids.max() >= n_loc):
             raise ValueError(
                 "halo setup received a vertex id this rank does not own")
         self._send_lids = send_lids
+        self._send_counts = recv_counts.astype(np.int64)
         self._send_splits = np.cumsum(recv_counts)[:-1]
         self._recv_counts = req_counts
+        # Prefix sums + per-row destination rank, for the sparse delta
+        # wire format (indices relative to each destination block).
+        self._send_starts = np.concatenate(
+            ([0], np.cumsum(self._send_counts))).astype(np.int64)
+        self._ghost_starts = np.concatenate(
+            ([0], np.cumsum(req_counts))).astype(np.int64)
+        self._send_dest = np.repeat(
+            np.arange(p, dtype=np.int64), self._send_counts)
+        self._plans: dict[tuple[np.dtype, tuple[int, ...]], AlltoallvPlan] = {}
+        # Delta baselines are keyed by target-array identity: one halo can
+        # serve several arrays (even of one dtype) without cross-talk.  The
+        # stored strong reference keeps the id stable for the halo's life.
+        self._delta: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -76,6 +112,28 @@ class HaloExchange:
     def n_ghosts(self) -> int:
         return len(self._ghost_lids)
 
+    def _plan_for(self, dtype: np.dtype,
+                  tail: tuple[int, ...]) -> AlltoallvPlan:
+        """Cached persistent plan for one (dtype, trailing-shape).
+
+        Both count vectors come from setup, so creation never communicates
+        — safe to do lazily on first use of a dtype.
+        """
+        key = (np.dtype(dtype), tail)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self.comm.alltoallv_plan(
+                self._send_counts, recvcounts=self._recv_counts,
+                dtype=key[0], tail=tail, name=f"halo:{key[0]}{list(tail)}")
+            self._plans[key] = plan
+        return plan
+
+    def _check_length(self, values: np.ndarray) -> None:
+        if len(values) != self.g.n_total:
+            raise ValueError(
+                f"values must have length n_loc+n_gst={self.g.n_total}, "
+                f"got {len(values)}")
+
     def exchange(self, values: np.ndarray) -> np.ndarray:
         """Refresh the ghost entries of ``values`` in place (and return it).
 
@@ -85,12 +143,134 @@ class HaloExchange:
 
         ``values`` may also be a 2-D ``(n_loc + n_gst, k)`` block (the
         batched analytics ship k values per ghost in one message); all
-        ranks must use the same ``k``.
+        ranks must use the same ``k`` (the plan signature carries it, so
+        a mismatch fails loudly under the verifier instead of deadlocking).
         """
-        if len(values) != self.g.n_total:
-            raise ValueError(
-                f"values must have length n_loc+n_gst={self.g.n_total}, "
-                f"got {len(values)}")
+        self._check_length(values)
+        plan = self._plan_for(values.dtype, values.shape[1:])
+        np.take(values, self._send_lids, axis=0, out=plan.sendbuf)
+        values[self._ghost_lids] = plan.execute()
+        return values
+
+    def exchange_many(self, *arrays: np.ndarray) -> None:
+        """Refresh ghost entries of several arrays with fused collectives.
+
+        1-D arrays sharing a dtype are stacked into one ``(n, k)`` payload
+        and shipped in a single collective (k messages' worth of latency
+        collapses to one); arrays that cannot fuse (unique dtype, or
+        already 2-D) fall back to one :meth:`exchange` each.  Grouping is
+        a pure function of the argument dtypes, so SPMD-symmetric calls
+        produce identical schedules on every rank.
+        """
+        for a in arrays:
+            self._check_length(a)
+        groups: dict[np.dtype, list[int]] = {}
+        for i, a in enumerate(arrays):
+            if a.ndim == 1:
+                groups.setdefault(a.dtype, []).append(i)
+        fused: set[int] = set()
+        for dt, idxs in groups.items():
+            if len(idxs) < 2:
+                continue
+            plan = self._plan_for(dt, (len(idxs),))
+            sb = plan.sendbuf
+            for j, i in enumerate(idxs):
+                sb[:, j] = arrays[i][self._send_lids]
+            rb = plan.execute()
+            for j, i in enumerate(idxs):
+                arrays[i][self._ghost_lids] = rb[:, j]
+            fused.update(idxs)
+        for i, a in enumerate(arrays):
+            if i not in fused:
+                self.exchange(a)
+
+    def exchange_delta(self, values: np.ndarray, tol: float = 0.0,
+                       switch_fraction: float = 0.25) -> np.ndarray:
+        """Refresh ghosts, shipping only values that changed since last sent.
+
+        Per dtype the exchange remembers the value each retained-queue row
+        last shipped; a row is *active* when it drifted from that baseline
+        by more than ``tol`` (exact inequality for ``tol=0``, so integer
+        codes like labels are propagated bitwise-exactly).  One scalar
+        allreduce makes the dense/sparse decision *globally* — every rank
+        takes the same path, keeping the collective schedule aligned:
+
+        * active fraction ≥ ``switch_fraction`` (or first call): the dense
+          persistent plan, byte-identical to :meth:`exchange`;
+        * below it: two flat collectives ship (block-relative index,
+          value) pairs for active rows only, and the receiver scatters
+          them through the fixed retained-queue ordering.
+
+        With ``tol > 0`` un-shipped ghost copies may lag their owner by up
+        to ``tol`` — the PageRank-style approximation trade-off; the trace
+        counters ``halo.delta.*`` record how many values and bytes the
+        sparse rounds saved.
+
+        Because un-shipped ghost rows rely on the *previous* refresh, the
+        caller must pass the same persistent array every iteration (which
+        is how every iterative analytic already uses its halo).
+        """
+        self._check_length(values)
+        if values.ndim != 1:
+            raise ValueError("exchange_delta supports 1-D value arrays only")
+        comm = self.comm
+        key = values.dtype
+        cur = values[self._send_lids]
+        state = self._delta.get(id(values))
+        base = state[1] if state is not None else None
+        if base is None:
+            # Never primed: everything is active and (with any sane
+            # switch_fraction) the decision below lands on the dense plan.
+            active = np.ones(len(cur), dtype=bool)
+        elif tol == 0:
+            active = cur != base
+        else:
+            active = np.abs(cur - base) > tol
+        n_active = int(np.count_nonzero(active))
+        totals = comm.allreduce(
+            np.array([n_active, len(cur)], dtype=np.int64), SUM)
+        use_dense = (int(totals[1]) == 0
+                     or int(totals[0]) >= switch_fraction * int(totals[1]))
+        if use_dense:
+            plan = self._plan_for(key, ())
+            np.copyto(plan.sendbuf, cur)
+            values[self._ghost_lids] = plan.execute()
+            # cur is a fresh fancy-index copy: safe to keep as baseline
+            self._delta[id(values)] = (values, cur)
+            comm.trace.bump("halo.delta.dense_calls")
+        else:
+            idx = np.flatnonzero(active)
+            dest = self._send_dest[idx]
+            sc = np.bincount(dest, minlength=comm.size).astype(np.int64)
+            rel = idx - self._send_starts[dest]
+            ridx, rcounts = comm.alltoallv_flat(rel, sc)
+            rvals, _ = comm.alltoallv_flat(cur[idx], sc)
+            # Receives arrive ordered by source = owner, exactly how the
+            # ghost region is blocked; block start + relative index lands
+            # each value on its ghost row.
+            pos = np.repeat(self._ghost_starts[:-1], rcounts) + ridx
+            values[self._ghost_lids[pos]] = rvals
+            if base is None:  # primed straight into sparse (everything ships)
+                self._delta[id(values)] = (values, cur)
+            else:
+                base[idx] = cur[idx]
+            comm.trace.bump("halo.delta.sparse_calls")
+            comm.trace.bump("halo.delta.values_skipped", len(cur) - n_active)
+            comm.trace.bump(
+                "halo.delta.bytes_saved",
+                (len(cur) - n_active) * key.itemsize - n_active * 8)
+        return values
+
+    # ------------------------------------------------------------------
+    # unoptimized variants, kept for the ablation benchmarks
+    # ------------------------------------------------------------------
+    def exchange_list(self, values: np.ndarray) -> np.ndarray:
+        """Pre-plan list path: fancy-index, ``np.split`` into p arrays, one
+        object ``alltoallv``, ``concatenate`` on receive.  Functionally
+        identical to :meth:`exchange`; exists to quantify what the flat
+        buffer + persistent plan buy (see ``bench_comm`` / ablations).
+        """
+        self._check_length(values)
         payload = values[self._send_lids]
         send = np.split(payload, self._send_splits)
         data, counts = self.comm.alltoallv(send)
@@ -101,12 +281,6 @@ class HaloExchange:
         values[self._ghost_lids] = data.reshape((-1,) + values.shape[1:])
         return values
 
-    def exchange_many(self, *arrays: np.ndarray) -> None:
-        """Refresh ghost entries of several arrays (one alltoallv each)."""
-        for a in arrays:
-            self.exchange(a)
-
-    # ------------------------------------------------------------------
     def exchange_with_ids(self, values: np.ndarray) -> np.ndarray:
         """Unoptimized variant: resend (global id, value) pairs every call.
 
@@ -114,8 +288,7 @@ class HaloExchange:
         and performs a hash-map translation per call.  Exists to quantify
         the paper's retained-queue optimization (see ``bench_ablations``).
         """
-        if len(values) != self.g.n_total:
-            raise ValueError("values must have length n_loc+n_gst")
+        self._check_length(values)
         g = self.g
         payload = values[self._send_lids]
         gids = g.unmap[self._send_lids]

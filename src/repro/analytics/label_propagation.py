@@ -178,7 +178,9 @@ def label_propagation(
             changed = comm.allreduce(
                 int(np.count_nonzero(new_local != labels[:n_loc])), SUM)
             labels[:n_loc] = new_local
-            halo.exchange(labels)
+            # tol=0 delta: only changed labels travel (bitwise-identical to
+            # a dense refresh), which goes sparse as communities stabilize.
+            halo.exchange_delta(labels)
             if changed == 0:
                 return LabelPropagationResult(
                     labels=labels[:n_loc].copy(), n_iters=it + 1, last_changed=0)

@@ -94,8 +94,7 @@ def wcc(
             giant_label = int(comm.allreduce(local_min, MIN))
             labels[:n_loc][visited_local] = giant_label
             visited[:n_loc] = visited_local
-            halo.exchange(visited)
-            halo.exchange(labels)
+            halo.exchange_many(visited, labels)
 
         # --- Phase 2: min-label coloring of the leftover vertices. ---
         rows, nbrs = combined_adjacency(g, "both")
@@ -108,7 +107,9 @@ def wcc(
             if changed == 0:
                 break
             labels[:n_loc] = new_local
-            halo.exchange(labels)
+            # tol=0 delta: late coloring rounds touch few labels, so most
+            # iterations ship a sparse (index, label) trickle.
+            halo.exchange_delta(labels)
             n_iters += 1
 
         return WCCResult(labels=labels[:n_loc].copy(), n_color_iters=n_iters,

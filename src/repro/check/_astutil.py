@@ -18,7 +18,8 @@ __all__ = ["Finding", "COLLECTIVES"]
 COLLECTIVES = frozenset({
     "barrier", "bcast", "gather", "allgather", "scatter", "alltoall",
     "allreduce", "reduce", "scan", "exscan", "allgatherv", "gatherv",
-    "reduce_scatter", "alltoallv", "split",
+    "reduce_scatter", "alltoallv", "alltoallv_flat", "alltoallv_plan",
+    "split",
 })
 
 

@@ -20,7 +20,7 @@ Example
 [6, 6, 6, 6]
 """
 
-from .comm import VERIFY_ENV, Communicator, World, verify_from_env
+from .comm import AlltoallvPlan, VERIFY_ENV, Communicator, World, verify_from_env
 from .errors import (
     BufferRaceError,
     CollectiveMismatchError,
@@ -49,6 +49,7 @@ from .threadqueue import SharedSendQueues, ThreadLocalQueue
 from .trace import CommEvent, CommTrace, aggregate_summaries
 
 __all__ = [
+    "AlltoallvPlan",
     "Communicator",
     "World",
     "run_spmd",

@@ -43,6 +43,23 @@ companion rules are SPMD006–008 (:mod:`repro.check.racecheck`).
 The design deliberately exposes the same cost structure as real MPI: an
 ``alltoallv`` really does materialize per-destination buffers and a
 concatenated receive buffer, so communication volume measurements are exact.
+
+Two personalized-exchange code paths coexist, mirroring the evolution of
+real MPI codes:
+
+* the **list path** (:meth:`Communicator.alltoallv`) takes one ndarray per
+  destination and concatenates a fresh receive buffer per call — simple,
+  but it pays p list entries, p dtype checks, and one allocation per call;
+* the **flat path** (:meth:`Communicator.alltoallv_flat`) takes MPI's
+  ``sendbuf/sendcounts/sdispls`` triple — one contiguous send array sliced
+  by counts and displacements — and can scatter straight into a
+  caller-owned ``out`` buffer.  :meth:`Communicator.alltoallv_plan` builds
+  an :class:`AlltoallvPlan` (the ``MPI_Alltoallv_init`` analogue) that
+  freezes counts, displacements, dtype validation, and both buffers across
+  iterations, so the per-iteration cost is one memcpy per peer and nothing
+  else.  Plans carry a world-unique ``plan_id`` that enters the verifier
+  signature, and register their persistent buffers with the sanitizer once
+  at construction instead of once per epoch.
 """
 
 from __future__ import annotations
@@ -75,14 +92,17 @@ from .sanitize import (
 )
 from .trace import CommTrace
 
-__all__ = ["Communicator", "World", "VERIFY_ENV", "verify_from_env",
-           "SANITIZE_ENV", "sanitize_from_env"]
+__all__ = ["AlltoallvPlan", "Communicator", "World", "VERIFY_ENV",
+           "verify_from_env", "SANITIZE_ENV", "sanitize_from_env"]
 
 #: Environment variable enabling the runtime schedule verifier by default.
 VERIFY_ENV = "REPRO_VERIFY_COLLECTIVES"
 
 #: Sentinel marking a slot whose payload was consumed (verify mode only).
 _CONSUMED = object()
+
+#: Sentinel for "derive the timeout from the world" (see Communicator.recv).
+_WORLD_TIMEOUT = object()
 
 #: Abort-reason prefix distinguishing a verifier-detected divergence from
 #: app failures, so peers still in the signature barrier can convert their
@@ -170,6 +190,7 @@ class Communicator:
         self.size = world.size
         self.trace = CommTrace(rank)
         self._call_index = 0
+        self._n_plans = 0
         # Approximate hop count of a binomial-tree collective, for the
         # alpha (latency) term of the performance model.
         self._tree_msgs = max(1, math.ceil(math.log2(max(2, self.size))))
@@ -621,6 +642,153 @@ class Communicator:
         return self._run("alltoallv", send, combine, bytes_sent, nmsg,
                          sig=("dtype", str(dt)))
 
+    def alltoallv_flat(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts: np.ndarray,
+        sdispls: np.ndarray | None = None,
+        *,
+        out: np.ndarray | None = None,
+        recvcounts: np.ndarray | None = None,
+        _plan: "AlltoallvPlan | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Personalized all-to-all with MPI ``sendbuf/sendcounts/sdispls``
+        semantics.
+
+        ``sendbuf`` is one contiguous array; rank ``d`` receives the
+        ``sendcounts[d]`` rows starting at ``sdispls[d]`` (contiguous
+        packing — an exclusive prefix sum of the counts — when ``sdispls``
+        is omitted).  Rows may carry trailing dimensions: an ``(n, k)``
+        send buffer ships k values per row and counts stay row counts.
+
+        Unlike :meth:`alltoallv` there are no per-peer Python lists and no
+        receive-side ``np.concatenate``: each source's rows are sliced out
+        of its flat buffer and copied straight into the receive buffer —
+        the caller-owned ``out`` when given (its rows must already equal
+        the incoming total), else one fresh allocation.
+
+        ``recvcounts``, when given, is trusted for sizing and
+        cross-checked against what the peers actually sent; a mismatch
+        raises :class:`CommUsageError` (aborting the world) instead of
+        silently mis-slicing.  Both ``out`` and ``recvcounts`` are
+        normally supplied by an :class:`AlltoallvPlan`, which also skips
+        the per-call contiguity/dtype validation it performed once at
+        construction.
+
+        Returns ``(data, counts)`` exactly like :meth:`alltoallv`.
+        """
+        size = self.size
+        if _plan is None:
+            sendbuf = np.ascontiguousarray(sendbuf)
+            sendcounts = np.ascontiguousarray(sendcounts, dtype=np.int64)
+            if sendcounts.shape != (size,):
+                raise CommUsageError(
+                    f"alltoallv_flat needs exactly {size} send counts, "
+                    f"got shape {sendcounts.shape}")
+            if len(sendcounts) and sendcounts.min() < 0:
+                raise CommUsageError("negative send count")
+            if sdispls is None:
+                sdispls = np.concatenate(
+                    ([0], np.cumsum(sendcounts[:-1]))).astype(np.int64)
+            else:
+                sdispls = np.ascontiguousarray(sdispls, dtype=np.int64)
+                if sdispls.shape != (size,):
+                    raise CommUsageError(
+                        f"alltoallv_flat needs exactly {size} send "
+                        f"displacements, got shape {sdispls.shape}")
+            if size and int((sdispls + sendcounts).max(initial=0)) > len(sendbuf):
+                raise CommUsageError(
+                    "send counts/displacements overrun the send buffer")
+            if recvcounts is not None:
+                recvcounts = np.ascontiguousarray(recvcounts, dtype=np.int64)
+        elif sdispls is None:
+            sdispls = _plan.sdispls
+        dt = sendbuf.dtype
+        tail = sendbuf.shape[1:]
+        row_nbytes = int(dt.itemsize * np.prod(tail, dtype=np.int64)) \
+            if tail else dt.itemsize
+        offrank = np.arange(size) != self.rank
+        bytes_sent = row_nbytes * int(sendcounts[offrank].sum())
+        nmsg = int(np.count_nonzero(sendcounts[offrank]))
+
+        def combine(slots):
+            rc = recvcounts
+            actual = np.array([int(slots[src][1][self.rank])
+                               for src in range(size)], dtype=np.int64)
+            if rc is None:
+                rc = actual
+            elif not np.array_equal(actual, rc):
+                bad = int(np.flatnonzero(actual != rc)[0])
+                raise CommUsageError(
+                    f"alltoallv plan mismatch on rank {self.rank}: expected "
+                    f"{int(rc[bad])} row(s) from rank {bad}, got "
+                    f"{int(actual[bad])} (peers built a different plan?)")
+            total = int(rc.sum())
+            data = np.empty((total,) + tail, dtype=dt) if out is None else out
+            off = 0
+            for src in range(size):
+                c = int(rc[src])
+                if c:
+                    sb, _, dsp = slots[src]
+                    d = int(dsp[self.rank])
+                    data[off:off + c] = sb[d:d + c]
+                off += c
+            recv = row_nbytes * int(rc[offrank].sum())
+            return (data, rc), recv
+
+        if _plan is not None:
+            sig: tuple[Any, ...] = ("plan", _plan.plan_id, "dtype", str(dt),
+                                    "tail", tail)
+        else:
+            sig = ("dtype", str(dt), "tail", tail)
+        return self._run("alltoallv", (sendbuf, sendcounts, sdispls),
+                         combine, bytes_sent, nmsg, sig=sig)
+
+    def alltoallv_plan(
+        self,
+        sendcounts: np.ndarray,
+        recvcounts: np.ndarray | None = None,
+        dtype: Any = np.float64,
+        tail: tuple[int, ...] = (),
+        name: str = "",
+    ) -> "AlltoallvPlan":
+        """Build a persistent alltoallv schedule (``MPI_Alltoallv_init``).
+
+        ``sendcounts[d]`` rows of dtype ``dtype`` (with trailing dims
+        ``tail``) go to rank ``d`` on every :meth:`AlltoallvPlan.execute`.
+        ``recvcounts`` may be omitted, in which case one object
+        ``alltoall`` exchanges the counts here — a collective, so either
+        every rank must omit it or none.  With ``recvcounts`` supplied,
+        plan construction is purely local.
+
+        The plan owns a packed send buffer and a preallocated receive
+        buffer, re-used verbatim across executions, and carries a
+        world-unique ``plan_id`` that enters the schedule-verifier
+        signature so two ranks executing *different* plans fail loudly.
+        """
+        sendcounts = np.ascontiguousarray(sendcounts, dtype=np.int64)
+        if sendcounts.shape != (self.size,):
+            raise CommUsageError(
+                f"plan needs exactly {self.size} send counts, got shape "
+                f"{sendcounts.shape}")
+        if len(sendcounts) and sendcounts.min() < 0:
+            raise CommUsageError("negative send count")
+        if recvcounts is None:
+            recvcounts = np.array(
+                self.alltoall([int(c) for c in sendcounts]), dtype=np.int64)
+        else:
+            recvcounts = np.ascontiguousarray(recvcounts, dtype=np.int64)
+            if recvcounts.shape != (self.size,):
+                raise CommUsageError(
+                    f"plan needs exactly {self.size} recv counts, got "
+                    f"shape {recvcounts.shape}")
+            if len(recvcounts) and recvcounts.min() < 0:
+                raise CommUsageError("negative recv count")
+        plan_id = self._n_plans
+        self._n_plans += 1
+        return AlltoallvPlan(self, sendcounts, recvcounts, dtype, tail,
+                             plan_id, name)
+
     # ------------------------------------------------------------------
     # sub-communicators
     # ------------------------------------------------------------------
@@ -668,12 +836,110 @@ class Communicator:
             raise CommUsageError(f"dest {dest} out of range")
         self._world.p2p_queue(self.rank, dest, tag).put(obj)
 
-    def recv(self, source: int, tag: int = 0, timeout: float | None = 30.0) -> Any:
-        """Receive an object sent by ``source`` with matching ``tag``."""
+    def recv(self, source: int, tag: int = 0,
+             timeout: float | None | object = _WORLD_TIMEOUT) -> Any:
+        """Receive an object sent by ``source`` with matching ``tag``.
+
+        The default timeout is the world's collective-wait timeout (the
+        ``timeout=`` passed to :func:`~repro.runtime.run_spmd`), so a
+        missing send surfaces on the same clock as a missed barrier; pass
+        an explicit number to override, or ``None`` to block forever.
+        """
         if not (0 <= source < self.size):
             raise CommUsageError(f"source {source} out of range")
+        if timeout is _WORLD_TIMEOUT:
+            timeout = self._world.timeout
         q = self._world.p2p_queue(source, self.rank, tag)
         return q.get(timeout=timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator(rank={self.rank}, size={self.size})"
+
+
+class AlltoallvPlan:
+    """Persistent personalized-exchange schedule (``MPI_Alltoallv_init``).
+
+    Built once by :meth:`Communicator.alltoallv_plan`, then executed every
+    iteration.  The plan freezes everything the per-call path re-derives:
+
+    * send/recv counts and their displacement prefix sums;
+    * the dtype/contiguity validation (done once here, skipped per call);
+    * a packed ``sendbuf`` the caller fills in place (``plan.sendbuf[...] =
+      ...`` or ``np.take(values, idx, axis=0, out=plan.sendbuf)``);
+    * a preallocated ``recvbuf`` the collective scatters into — no
+      allocation, list construction, or ``concatenate`` per iteration.
+
+    The world-unique ``plan_id`` enters the schedule-verifier signature of
+    every execution, so two ranks driving different plans raise
+    :class:`~repro.runtime.errors.CollectiveMismatchError` on all ranks;
+    even unverified worlds fail loudly because the receive side
+    cross-checks peer counts against the plan.  Under the buffer sanitizer
+    the plan registers its persistent buffers once at construction (they
+    are rank-private by design), not once per epoch.
+    """
+
+    def __init__(self, comm: Communicator, sendcounts: np.ndarray,
+                 recvcounts: np.ndarray, dtype: Any, tail: tuple[int, ...],
+                 plan_id: int, name: str = ""):
+        self.comm = comm
+        self.sendcounts = sendcounts
+        self.recvcounts = recvcounts
+        self.sdispls = np.concatenate(
+            ([0], np.cumsum(sendcounts[:-1]))).astype(np.int64)
+        self.rdispls = np.concatenate(
+            ([0], np.cumsum(recvcounts[:-1]))).astype(np.int64)
+        self.n_send = int(sendcounts.sum())
+        self.n_recv = int(recvcounts.sum())
+        self.dtype = np.dtype(dtype)
+        self.tail = tuple(int(t) for t in tail)
+        self.plan_id = plan_id
+        self.name = name
+        self.sendbuf = np.zeros((self.n_send,) + self.tail, dtype=self.dtype)
+        self.recvbuf = np.empty((self.n_recv,) + self.tail, dtype=self.dtype)
+        self._validated_external: np.ndarray | None = None
+        sanitizer = comm._world.sanitizer
+        if sanitizer is not None:
+            sanitizer.register_persistent((self.sendbuf, self.recvbuf))
+
+    def _validate_external(self, sendbuf: np.ndarray) -> np.ndarray:
+        """One-time validation of a caller-owned send buffer.
+
+        Re-validates only when the buffer *object* changes; iterating on
+        the same array skips the contiguity and dtype checks entirely
+        (the point of a persistent plan).
+        """
+        if sendbuf is self._validated_external:
+            return sendbuf
+        sendbuf = np.ascontiguousarray(sendbuf)
+        if sendbuf.dtype != self.dtype:
+            raise CommUsageError(
+                f"plan expects dtype {self.dtype}, got {sendbuf.dtype}")
+        if sendbuf.shape != (self.n_send,) + self.tail:
+            raise CommUsageError(
+                f"plan expects send shape {(self.n_send,) + self.tail}, "
+                f"got {sendbuf.shape}")
+        self._validated_external = sendbuf
+        return sendbuf
+
+    def execute(self, sendbuf: np.ndarray | None = None) -> np.ndarray:
+        """Run one exchange; returns the plan's receive buffer.
+
+        With no argument the plan's own ``sendbuf`` is shipped (fill it in
+        place first).  The returned array is the *persistent* ``recvbuf``
+        — copy out of it before the next execution if you need the values
+        to survive.
+        """
+        if sendbuf is None:
+            sendbuf = self.sendbuf
+        elif sendbuf is not self.sendbuf:
+            sendbuf = self._validate_external(sendbuf)
+        data, _ = self.comm.alltoallv_flat(
+            sendbuf, self.sendcounts, out=self.recvbuf,
+            recvcounts=self.recvcounts, _plan=self)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (f"AlltoallvPlan(#{self.plan_id}{label}, "
+                f"send={self.n_send}, recv={self.n_recv}, "
+                f"dtype={self.dtype}, tail={self.tail})")

@@ -124,6 +124,18 @@ def borrow_payload(obj: Any, info: dict[str, Any]) -> Any:
     return obj
 
 
+def _ndarrays_of(obj: Any):
+    """Yield the ndarray leaves of a collective payload (depth-first)."""
+    if isinstance(obj, np.ndarray):
+        yield obj
+    elif isinstance(obj, (list, tuple)):
+        for v in obj:
+            yield from _ndarrays_of(v)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            yield from _ndarrays_of(v)
+
+
 def fingerprint(obj: Any) -> int:
     """Order-sensitive structural CRC32 of a payload.
 
@@ -247,15 +259,35 @@ class BufferSanitizer:
         self.clock = [0] * size
         self._guards: list[deque[_Guard]] = [deque() for _ in range(size)]
         self._lock = threading.Lock()
+        self._persistent: set[int] = set()
         self.flagged: BufferRaceError | None = None
 
     def tick(self, rank: int, call_index: int) -> None:
         """Advance rank's epoch (entry to its ``call_index``-th collective)."""
         self.clock[rank] = call_index
 
+    def register_persistent(self, payload: Any) -> None:
+        """Exempt plan-owned buffers from publish-fingerprint tracking.
+
+        Persistent collective plans (:class:`~repro.runtime.comm.
+        AlltoallvPlan`) re-fill their send/recv buffers every iteration by
+        design; the rewrite is the protocol, not a race.  A plan registers
+        its buffers *once* at construction — :meth:`guard` then skips them
+        instead of re-fingerprinting per epoch.  Registration is by object
+        identity and only silences the publish-side drift check; borrows
+        handed to peers stay read-only regardless.
+        """
+        with self._lock:
+            self._persistent.update(
+                id(a) for a in _ndarrays_of(payload))
+
     def guard(self, rank: int, op: str, call_index: int,
               payload: Any) -> None:
         """Fingerprint a copy=False publish for later drift checks."""
+        if self._persistent:
+            arrays = list(_ndarrays_of(payload))
+            if arrays and all(id(a) in self._persistent for a in arrays):
+                return
         self._guards[rank].append(_Guard(payload, op, call_index))
 
     def check(self, world: Any, rank: int) -> None:

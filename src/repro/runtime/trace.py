@@ -56,6 +56,7 @@ class CommTrace:
     rank: int
     events: list[CommEvent] = field(default_factory=list)
     compute_s: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
     _last_leave: float | None = field(default=None, repr=False)
     _region: str | None = field(default=None, repr=False)
 
@@ -96,10 +97,17 @@ class CommTrace:
         """Tag subsequent events with a region label (e.g. an analytic name)."""
         self._region = name
 
+    def bump(self, name: str, value: float = 1) -> None:
+        """Accumulate a named side-channel counter (e.g. delta-exchange
+        bytes saved).  Counters live next to, not inside, the event list:
+        they count things no single collective owns."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
     def reset(self) -> None:
         """Clear all accumulated events and timers (keeps the rank id)."""
         self.events.clear()
         self.compute_s = 0.0
+        self.counters.clear()
         self._last_leave = None
 
     # ------------------------------------------------------------------
@@ -172,6 +180,7 @@ class CommTrace:
         doc: dict = {
             "summary": self.summary(),
             "regions": self.region_summaries(),
+            "counters": dict(self.counters),
         }
         if include_events:
             doc["events"] = [asdict(e) for e in self.events]

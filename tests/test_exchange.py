@@ -127,3 +127,213 @@ def test_traffic_counts_symmetric(small_web):
 
     outs = dist_run(edges, n, 4, fn)
     assert sum(o[0] for o in outs) == sum(o[1] for o in outs)
+
+
+# ---------------------------------------------------------------------------
+# flat-buffer plan path: edge cases and new exchange modes
+# ---------------------------------------------------------------------------
+def _line_edges(pairs):
+    return np.array(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+def test_rank_with_zero_ghosts():
+    """Ranks owning no cross-partition edges still join every exchange."""
+    n = 40  # vblock on 4 ranks: only ranks 0/1 share edges; 2/3 are isolated
+    edges = _line_edges([(i, i + 10) for i in range(5)])
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        if comm.rank >= 2:
+            assert halo.n_ghosts == 0 and halo.n_sent_per_iter == 0
+        vals = np.zeros(g.n_total, dtype=np.float64)
+        for it in range(3):
+            vals[: g.n_loc] = g.unmap[: g.n_loc] * 2.0 + it
+            halo.exchange(vals)
+            assert (vals == g.unmap * 2.0 + it).all()
+            halo.exchange_delta(vals)
+        return True
+
+    assert all(dist_run(edges, n, 4, fn))
+
+
+def test_all_empty_exchange():
+    """A graph with no cross-partition edges exchanges zero values."""
+    n = 40
+    edges = _line_edges(
+        [(b * 10 + j, b * 10 + j + 1) for b in range(4) for j in range(9)])
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        assert halo.n_ghosts == 0 and halo.n_sent_per_iter == 0
+        vals = np.arange(g.n_total, dtype=np.float64)
+        halo.exchange(vals)
+        halo.exchange_many(vals, vals.copy())
+        halo.exchange_delta(vals)
+        return True
+
+    assert all(dist_run(edges, n, 4, fn))
+
+
+def test_2d_block_exchange(small_web):
+    """(n, k) blocks ship k values per ghost through one plan."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        vals = np.zeros((g.n_total, 3), dtype=np.float64)
+        vals[: g.n_loc] = g.unmap[: g.n_loc, None] * np.array([1.0, 2.0, 3.0])
+        halo.exchange(vals)
+        assert np.array_equal(
+            vals, g.unmap[:, None] * np.array([1.0, 2.0, 3.0]))
+        return True
+
+    assert all(dist_run(edges, n, 3, fn))
+
+
+def test_mismatched_k_raises_via_verifier(small_web):
+    """Different trailing dims across ranks must raise, not deadlock."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        k = 2 if comm.rank == 0 else 3  # rank-divergent block width
+        vals = np.zeros((g.n_total, k), dtype=np.float64)
+        halo.exchange(vals)
+        return True
+
+    with pytest.raises(SpmdError) as excinfo:
+        dist_run(edges, n, 2, fn)
+    from repro.runtime import CollectiveMismatchError
+
+    assert any(isinstance(e, CollectiveMismatchError)
+               for e in excinfo.value.failures.values())
+
+
+def test_exchange_list_matches_plan_path(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        a = np.zeros(g.n_total)
+        b = np.zeros(g.n_total)
+        a[: g.n_loc] = b[: g.n_loc] = np.sqrt(g.unmap[: g.n_loc] + 1.0)
+        halo.exchange(a)
+        halo.exchange_list(b)
+        assert (a == b).all()
+        return True
+
+    assert all(dist_run(edges, n, 4, fn))
+
+
+def test_exchange_many_fuses_mixed_dtypes(small_web):
+    """1-D float pairs fuse; int64/bool/2-D fall back to single exchanges."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        a = np.zeros(g.n_total)
+        b = np.zeros(g.n_total)
+        c = np.zeros(g.n_total, dtype=np.int64)
+        d = np.zeros(g.n_total, dtype=bool)
+        e = np.zeros((g.n_total, 2))
+        gid = g.unmap[: g.n_loc]
+        a[: g.n_loc] = gid * 1.5
+        b[: g.n_loc] = gid * -2.0
+        c[: g.n_loc] = gid + 7
+        d[: g.n_loc] = gid % 3 == 0
+        e[: g.n_loc] = gid[:, None] * np.array([1.0, -1.0])
+        halo.exchange_many(a, b, c, d, e)
+        assert (a == g.unmap * 1.5).all()
+        assert (b == g.unmap * -2.0).all()
+        assert (c == g.unmap + 7).all()
+        assert (d == (g.unmap % 3 == 0)).all()
+        assert np.array_equal(e, g.unmap[:, None] * np.array([1.0, -1.0]))
+        return True
+
+    assert all(dist_run(edges, n, 3, fn))
+
+
+def test_delta_exchange_matches_dense_on_rmat():
+    """tol=0 delta is bitwise-equal to dense across sparse/dense rounds."""
+    from repro.generators import rmat_edges
+
+    n = 256
+    edges = np.unique(rmat_edges(8, edge_factor=8, seed=5) % n, axis=0)
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        dense = np.zeros(g.n_total)
+        delta = np.zeros(g.n_total)
+        gid = g.unmap[: g.n_loc]
+        rng = np.random.default_rng(99)  # same stream on every rank
+        for it in range(8):
+            # After the first two (dense-ish) rounds, touch ~2% of vertices
+            # so the adaptive switch takes the sparse path.
+            frac = 1.0 if it < 2 else 0.02
+            touched = rng.random(g.n_global) < frac
+            upd = np.flatnonzero(touched[gid])
+            dense[upd] = delta[upd] = it * 1000.0 + gid[upd]
+            halo.exchange(dense)
+            halo.exchange_delta(delta)
+            assert (dense == delta).all()
+        assert comm.trace.counters.get("halo.delta.sparse_calls", 0) > 0
+        assert comm.trace.counters.get("halo.delta.dense_calls", 0) > 0
+        return True
+
+    assert all(dist_run(edges, n, 4, fn))
+
+
+def test_delta_exchange_tolerance_bounds_error(small_web):
+    """With tol>0 every ghost stays within tol of its owner's value."""
+    n, edges = small_web
+    tol = 1e-3
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        vals = np.zeros(g.n_total)
+        truth = np.zeros(g.n_total)
+        gid = g.unmap[: g.n_loc]
+        for it in range(6):
+            drift = np.sin(gid * 0.1 + it) * (1e-4 if it % 2 else 1.0)
+            vals[: g.n_loc] = truth[: g.n_loc] = vals[: g.n_loc] + drift
+            halo.exchange(truth)
+            halo.exchange_delta(vals, tol=tol)
+            assert np.abs(vals - truth).max() <= tol
+        saved = comm.trace.counters.get("halo.delta.values_skipped", 0)
+        return saved
+
+    outs = dist_run(edges, n, 4, fn)
+    assert sum(outs) > 0  # the small-drift rounds actually skipped traffic
+
+
+def test_delta_exchange_two_arrays_independent_baselines(small_web):
+    """One halo serving two same-dtype arrays keeps separate baselines."""
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        x = np.zeros(g.n_total)
+        y = np.zeros(g.n_total)
+        gid = g.unmap[: g.n_loc]
+        for it in range(4):
+            x[: g.n_loc] = gid * 1.0 + it
+            y[: g.n_loc] = gid * -1.0 - it
+            halo.exchange_delta(x)
+            halo.exchange_delta(y)
+            assert (x == g.unmap * 1.0 + it).all()
+            assert (y == g.unmap * -1.0 - it).all()
+        return True
+
+    assert all(dist_run(edges, n, 3, fn))
+
+
+def test_delta_exchange_rejects_2d(small_web):
+    n, edges = small_web
+
+    def fn(comm, g):
+        halo = HaloExchange(comm, g)
+        with pytest.raises(ValueError):
+            halo.exchange_delta(np.zeros((g.n_total, 2)))
+        return True
+
+    assert all(dist_run(edges, n, 1, fn))
