@@ -1,0 +1,303 @@
+"""Streaming-update benchmark: ingest throughput and incremental repair.
+
+Measures the two costs that decide whether the dynamic-graph subsystem
+(:mod:`repro.stream`) earns its keep in a serving deployment:
+
+1. **Update ingest**: sustained updates/second through
+   :meth:`~repro.stream.DynamicDistGraph.apply` — owner routing over the
+   persistent refit plans, delta-CSR integration, ghost upkeep.
+2. **Incremental vs full PageRank**: latency of the memoized-replay
+   incremental kernel (:class:`~repro.stream.IncrementalPageRank`) against
+   a full static recompute on the same epoch, as a function of how much of
+   the graph a batch touches.  Both produce bitwise-identical scores (the
+   bench asserts it), so the comparison is repair-vs-recompute of the
+   *same* answer.
+
+The graph is a ring of vertex-block-aligned communities (each an internal
+ring plus random intra-community edges, communities chained by one bridge
+edge each), so a clustered update batch's influence stays localized — the
+regime incremental repair targets.  Update batches touch a controlled
+fraction of vertices; at the 1%-of-vertices point the acceptance criterion
+is a >= 3x repair speedup at 8 ranks.
+
+Run as a pytest-benchmark suite (``pytest benchmarks/bench_stream.py``) or
+as a CLI::
+
+    python benchmarks/bench_stream.py --write   # record BENCH_stream.json
+    python benchmarks/bench_stream.py --smoke   # CI guard: fail on >2x
+                                                # speedup regression
+
+The smoke guard compares *ratios* (full-recompute time / incremental
+time), which are stable across machines and load, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:  # CLI invocation from anywhere
+    sys.path.insert(0, str(BENCH_DIR))
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+import pytest
+
+from _common import fmt_table
+from repro.analytics import pagerank
+from repro.graph import build_dist_graph
+from repro.partition import VertexBlockPartition
+from repro.runtime import run_spmd
+from repro.stream import DynamicDistGraph, IncrementalPageRank, UpdateBatch
+
+P = 8  # acceptance target: >= 3x repair speedup at 8 ranks
+COMM_K = 64  # vertices per community
+COMMUNITIES_PER_RANK = 1536  # full-mode graph: P * this * COMM_K vertices
+INTRA_DEGREE = 23  # random intra-community out-edges per vertex (+1 ring)
+PR_ITERS = 10
+TOUCH_FRACTIONS = (0.001, 0.005, 0.01)  # of vertices, per update batch
+INGEST_BATCH = 2_000
+INGEST_BATCHES = 10
+BASELINE = BENCH_DIR / "BENCH_stream.json"
+
+
+def community_edges(n: int, k: int = COMM_K,
+                    intra_degree: int = INTRA_DEGREE,
+                    seed: int = 1) -> np.ndarray:
+    """Ring-of-communities graph: ``n/k`` communities of ``k`` vertices.
+
+    Every vertex gets one ring edge (no dangling vertices) plus
+    ``intra_degree`` random intra-community edges.  Every fourth
+    community bridges to its neighbor and eight long-range edges span
+    half the ID space (crossing rank boundaries, so halo exchange ships
+    real ghosts), but bridges are sparse enough that an update's
+    influence stays near the communities it touched.
+    """
+    assert n % k == 0 and n // k >= 8
+    rng = np.random.default_rng(seed)
+    nc = n // k
+    base = np.repeat(np.arange(nc, dtype=np.int64) * k, k)
+    vs = np.arange(n, dtype=np.int64)
+    ring_dst = base + (vs - base + 1) % k
+    intra_src = np.repeat(vs, intra_degree)
+    intra_dst = (np.repeat(base, intra_degree)
+                 + rng.integers(0, k, size=n * intra_degree))
+    bridge_c = np.arange(0, nc, 4, dtype=np.int64)
+    far_c = np.arange(8, dtype=np.int64) * (nc // 8)
+    bridge_src = np.concatenate((bridge_c, far_c)) * k
+    bridge_dst = (np.concatenate(
+        ((bridge_c + 1) % nc, (far_c + nc // 2) % nc)) * k + 1)
+    src = np.concatenate((vs, intra_src, bridge_src))
+    dst = np.concatenate((ring_dst, intra_dst, bridge_dst))
+    return np.stack((src, dst), axis=1)
+
+
+def clustered_batch(n: int, fraction: float, k: int = COMM_K,
+                    inserts_per_vertex: int = 2, seed: int = 2,
+                    offset: int = 0) -> np.ndarray:
+    """Insert edges confined to ``fraction`` of the communities, strided
+    across the ID space so the repair work balances over all ranks
+    (shifted by ``offset`` communities so epochs touch fresh regions)."""
+    rng = np.random.default_rng(seed)
+    nc = n // k
+    n_comm = max(1, int(round(n * fraction / k)))
+    stride = max(1, nc // n_comm)
+    touched = (offset + np.arange(n_comm, dtype=np.int64) * stride) % nc
+    base = np.repeat(touched * k, k * inserts_per_vertex)
+    m = len(base)
+    return np.stack((base + rng.integers(0, k, size=m),
+                     base + rng.integers(0, k, size=m)), axis=1)
+
+
+def _measure_stream(p: int, n: int, pr_iters: int = PR_ITERS,
+                    ingest_batch: int = INGEST_BATCH,
+                    ingest_batches: int = INGEST_BATCHES) -> dict:
+    edges = community_edges(n)
+
+    def job(comm):
+        part = VertexBlockPartition(n, comm.size)
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        g = build_dist_graph(comm, chunk, part)
+        dyn = DynamicDistGraph(comm, g)
+        ipr = IncrementalPageRank(comm, dyn, max_iters=pr_iters)
+
+        out: dict = {}
+
+        # --- 1. incremental repair vs full recompute ------------------
+        # Runs first, on the pristine community graph: random global
+        # inserts (the ingest phase) would add long-range edges that let
+        # a local batch's influence flood the whole graph.
+        ipr.run()  # warm the memo (full run, untimed)
+        pr = {}
+        for i, frac in enumerate(TOUCH_FRACTIONS):
+            ins = clustered_batch(n, frac, seed=7 + i,
+                                  offset=i * (n // COMM_K) // 4)
+            sl = np.array_split(np.arange(len(ins)), comm.size)[comm.rank]
+            dyn.apply(UpdateBatch.inserts(ins[sl]))
+
+            g_now = dyn.view()  # materialize outside the timed region
+            comm.barrier()
+            t0 = time.perf_counter()
+            full = pagerank(comm, g_now, max_iters=pr_iters, halo=dyn.halo)
+            comm.barrier()
+            full_s = time.perf_counter() - t0
+
+            rows_before = ipr.stats["rows_recomputed"]
+            comm.barrier()
+            t0 = time.perf_counter()
+            incr = ipr.run()
+            comm.barrier()
+            incr_s = time.perf_counter() - t0
+            # Same epoch, same answer — bit for bit.
+            assert np.array_equal(full.scores, incr.scores)
+            rows = ipr.stats["rows_recomputed"] - rows_before
+            pr[f"{frac:.3%}"] = {
+                "full_s": full_s, "incremental_s": incr_s,
+                "rows_frac": rows / max(1, dyn.n_loc * pr_iters),
+            }
+        out["pagerank"] = pr
+
+        # --- 2. ingest throughput ------------------------------------
+        rng = np.random.default_rng(100 + comm.rank)
+        batches = [rng.integers(0, n, size=(ingest_batch // comm.size, 2),
+                                dtype=np.int64)
+                   for _ in range(ingest_batches)]
+        comm.barrier()
+        t0 = time.perf_counter()
+        for b in batches:
+            dyn.apply(UpdateBatch.inserts(b))
+        comm.barrier()
+        ingest_s = time.perf_counter() - t0
+        out["ingest"] = {"time_s": ingest_s,
+                         "updates": ingest_batch * ingest_batches}
+        return out
+
+    outs = run_spmd(p, job, timeout=600.0)
+    ingest = {
+        "updates": outs[0]["ingest"]["updates"],
+        "time_s": max(o["ingest"]["time_s"] for o in outs),
+    }
+    ingest["updates_per_s"] = ingest["updates"] / ingest["time_s"]
+    pr = {}
+    for key in outs[0]["pagerank"]:
+        full_s = max(o["pagerank"][key]["full_s"] for o in outs)
+        incr_s = max(o["pagerank"][key]["incremental_s"] for o in outs)
+        pr[key] = {
+            "full_s": full_s,
+            "incremental_s": incr_s,
+            "speedup": full_s / incr_s,
+            "rows_frac": max(o["pagerank"][key]["rows_frac"] for o in outs),
+        }
+    return {"meta": {"p": p, "n": n, "pr_iters": pr_iters},
+            "ingest": ingest, "pagerank": pr}
+
+
+def _measure(smoke: bool) -> dict:
+    if smoke:
+        return _measure_stream(p=4, n=4 * 32 * COMM_K,
+                               ingest_batch=400, ingest_batches=4)
+    return _measure_stream(p=P, n=P * COMMUNITIES_PER_RANK * COMM_K)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+def test_stream_smoke_scale(benchmark):
+    benchmark.pedantic(lambda: _measure(smoke=True), rounds=1, iterations=1)
+
+
+def test_report_stream(benchmark, report):
+    doc = benchmark.pedantic(lambda: _measure(smoke=False),
+                             rounds=1, iterations=1)
+    report("", _format(doc))
+    # Acceptance: repair beats recompute >= 3x when a batch touches <= 1%
+    # of vertices at 8 ranks.
+    assert doc["pagerank"]["1.000%"]["speedup"] >= 3.0
+
+
+def _format(doc: dict) -> str:
+    ing = doc["ingest"]
+    head = (f"STREAM 1: ingest {ing['updates']:,} updates in "
+            f"{ing['time_s']:.3f} s = {ing['updates_per_s']:,.0f} upd/s "
+            f"({doc['meta']['p']} ranks, n={doc['meta']['n']:,})")
+    table = fmt_table(
+        ["touched", "full (s)", "incremental (s)", "speedup", "rows/iter"],
+        [[k, round(v["full_s"], 4), round(v["incremental_s"], 4),
+          f"{v['speedup']:.2f}x", f"{v['rows_frac']:.1%}"]
+         for k, v in doc["pagerank"].items()],
+        title=f"STREAM 2: incremental vs full PageRank "
+              f"({doc['meta']['pr_iters']} iters)")
+    return head + "\n" + table
+
+
+# ---------------------------------------------------------------------------
+# CLI: --write records the baseline; --smoke guards against regression
+# ---------------------------------------------------------------------------
+def _ratios(doc: dict) -> dict[str, float]:
+    """Load-invariant shape of a measurement: repair speedups."""
+    return {f"pagerank.speedup_{k}": v["speedup"]
+            for k, v in doc["pagerank"].items()}
+
+
+def _compare(doc: dict, base: dict) -> list[str]:
+    want, got = _ratios(base), _ratios(doc)
+    failures = []
+    for key, base_ratio in want.items():
+        now = got.get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+        elif now < base_ratio / 2.0:
+            failures.append(
+                f"{key}: speedup {now:.2f}x vs baseline {base_ratio:.2f}x "
+                f"(>2x regression)")
+        else:
+            print(f"ok: {key} {now:.2f}x (baseline {base_ratio:.2f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes; compare against the recorded "
+                         "baseline and fail on >2x speedup regression")
+    ap.add_argument("--write", action="store_true",
+                    help="record the measurement as the new baseline")
+    ap.add_argument("--json", type=Path, default=BASELINE,
+                    help=f"baseline path (default {BASELINE.name})")
+    args = ap.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    doc = _measure(smoke=args.smoke)
+    print(_format(doc))
+    print()
+
+    if mode == "full" and doc["pagerank"]["1.000%"]["speedup"] < 3.0:
+        print("FAIL: <3x incremental speedup at the 1% batch point",
+              file=sys.stderr)
+        return 1
+
+    stored = (json.loads(args.json.read_text())
+              if args.json.exists() else {})
+    if args.write or mode not in stored:
+        stored[mode] = doc
+        args.json.write_text(json.dumps(stored, indent=2) + "\n")
+        print(f"baseline[{mode}] written: {args.json}")
+        return 0
+
+    failures = _compare(doc, stored[mode])
+    if failures:
+        print("\n".join("REGRESSION: " + f for f in failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

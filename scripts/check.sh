@@ -11,6 +11,19 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== tracked compiled artifacts =="
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    tracked_pyc=$(git ls-files -- '*.pyc' '**/__pycache__/*' || true)
+    if [ -n "$tracked_pyc" ]; then
+        echo "FAIL: compiled artifacts are tracked:" >&2
+        echo "$tracked_pyc" >&2
+        exit 1
+    fi
+    echo "ok: no tracked .pyc/__pycache__ files"
+else
+    echo "skip: not a git checkout"
+fi
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks examples scripts
@@ -58,6 +71,9 @@ done
 
 echo "== comm microbenchmark smoke (persistent collectives) =="
 PYTHONPATH=src python benchmarks/bench_comm.py --smoke
+
+echo "== stream microbenchmark smoke (incremental analytics) =="
+PYTHONPATH=src python benchmarks/bench_stream.py --smoke
 
 echo "== pytest (tier 1, collective-schedule verifier on) =="
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -62,9 +62,14 @@ class HaloExchange:
     collective schedule — but the analytics must still touch dtypes in
     the same order on every rank, which SPMD symmetry gives for free; a
     divergent order shows up as a plan-id mismatch in the verifier.
+
+    ``g`` may be any graph-like exposing the :class:`DistGraph` surface
+    used here (``n_loc``/``n_gst``/``unmap``/``map``/``ghost_tasks``) —
+    in particular a :class:`~repro.stream.deltagraph.DynamicDistGraph`,
+    which rebuilds its exchange whenever its ghost set changes.
     """
 
-    def __init__(self, comm: Communicator, g: DistGraph):
+    def __init__(self, comm: Communicator, g: "DistGraph"):
         self.comm = comm
         self.g = g
         n_loc, n_gst = g.n_loc, g.n_gst

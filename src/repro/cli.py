@@ -403,18 +403,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"{_summarize_result(kind, res)}")
             pending.clear()
 
-        t0 = time.perf_counter()
-        for kind, params in queries:
-            while True:
-                try:
-                    pending.append((engine.submit(kind, **params), kind))
-                    break
-                except AdmissionError:
-                    drain()  # backlog full: consume results, then retry
-        drain()
-        serve_s = time.perf_counter() - t0
+        def run_workload() -> float:
+            t0 = time.perf_counter()
+            for kind, params in queries:
+                while True:
+                    try:
+                        pending.append((engine.submit(kind, **params), kind))
+                        break
+                    except AdmissionError:
+                        drain()  # backlog full: consume results, then retry
+            drain()
+            return time.perf_counter() - t0
+
+        serve_s = run_workload()
+        if args.updates is not None:
+            # Live mutation: apply the update batch, then replay the same
+            # workload against the new epoch (shows invalidation at work).
+            from .stream import read_updates_text
+
+            batch = read_updates_text(args.updates)
+            out = engine.apply_updates(batch.src, batch.dst, batch.op,
+                                       batch.values)
+            print(f"applied {batch.n} updates: epoch {out['epoch']}, "
+                  f"+{out['n_inserted']} -{out['n_deleted']} "
+                  f"(missing {out['n_missing']}), m={out['m_global']:,} "
+                  f"[fingerprint {engine.fingerprint}]")
+            serve_s += run_workload()
         status = engine.status()
-        nq = len(queries)
+        nq = len(queries) * (2 if args.updates is not None else 1)
         print(f"served {nq} queries in {serve_s:.3f} s "
               f"({serve_s / max(nq, 1) * 1e3:.2f} ms/query amortized; "
               f"cold build was {build_s:.3f} s)")
@@ -433,6 +449,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"idle {m['idle_s']:.3f} s, xfer {m['comm_s']:.3f} s")
     finally:
         engine.shutdown()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# subcommand: stream-apply
+# ---------------------------------------------------------------------------
+def _cmd_stream_apply(args: argparse.Namespace) -> int:
+    from .analytics import pagerank
+    from .graph import build_dist_graph
+    from .io import count_edges, read_edge_range, striped_read
+    from .partition import RandomHashPartition, VertexBlockPartition
+    from .runtime import run_spmd
+    from .stream import (
+        DynamicDistGraph,
+        IncrementalPageRank,
+        IncrementalWCC,
+        UpdateBatch,
+        read_updates_text,
+        split_batch,
+    )
+
+    m = count_edges(args.input, width=args.width)
+    n = 0
+    for lo in range(0, m, 1 << 20):
+        chunk = read_edge_range(args.input, lo, min(1 << 20, m - lo),
+                                width=args.width)
+        n = max(n, int(chunk.max()) + 1 if len(chunk) else 0)
+    updates = read_updates_text(args.updates)
+    if updates.n:
+        # Updates may introduce vertices beyond the base file's id range.
+        n = max(n, int(updates.src.max()) + 1, int(updates.dst.max()) + 1)
+    batches = (split_batch(updates, args.batch_size)
+               if args.batch_size else [updates])
+
+    def job(comm):
+        chunk, _ = striped_read(comm, args.input, width=args.width)
+        if args.partition == "vblock":
+            part = VertexBlockPartition(n, comm.size)
+        else:
+            part = RandomHashPartition(n, comm.size, seed=7)
+        g = build_dist_graph(comm, chunk, part)
+        dyn = DynamicDistGraph(comm, g)
+        ipr = IncrementalPageRank(comm, dyn, max_iters=args.iters)
+        iwcc = IncrementalWCC(comm, dyn)
+        log = []
+        for b in batches:
+            sl = np.array_split(np.arange(b.n), comm.size)[comm.rank]
+            my = UpdateBatch(b.src[sl], b.dst[sl], b.op[sl],
+                             b.values[sl] if b.values is not None else None)
+            comm.barrier()
+            t0 = time.perf_counter()
+            res = dyn.apply(my)
+            t_apply = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            pr = ipr.run()
+            t_pr = time.perf_counter() - t0
+            w = iwcc.run()
+            log.append((res, t_apply, t_pr, pr.n_iters, w.mode))
+        return log, dict(ipr.stats)
+
+    t0 = time.perf_counter()
+    log, pr_stats = run_spmd(args.ranks, job, timeout=args.timeout or None)[0]
+    wall = time.perf_counter() - t0
+    print(f"{args.input}: n={n:,}, m={m:,}, {args.ranks} ranks; "
+          f"{updates.n} updates in {len(batches)} batch(es)")
+    for res, t_apply, t_pr, pr_iters, wcc_mode in log:
+        print(f"  epoch {res.epoch}: +{res.n_inserted} -{res.n_deleted} "
+              f"(missing {res.n_missing}) m={res.m_global:,} "
+              f"apply {t_apply * 1e3:.1f} ms, pagerank {t_pr * 1e3:.1f} ms "
+              f"({pr_iters} iters), wcc {wcc_mode}"
+              f"{', compacted' if res.compacted else ''}")
+    frac = pr_stats["rows_recomputed"] / max(1, pr_stats["rows_total"])
+    print(f"  pagerank repair: {pr_stats['rows_recomputed']:,} of "
+          f"{pr_stats['rows_total']:,} row-evaluations recomputed "
+          f"({frac:.1%}); {pr_stats['full_runs']} full run(s); "
+          f"total {wall:.3f} s")
     return 0
 
 
@@ -552,10 +644,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission bound on queued jobs")
     s.add_argument("--cache", type=int, default=128,
                    help="result-cache capacity (0 disables)")
+    s.add_argument("--updates", type=Path, default=None,
+                   help="edge-update file ('[+|-] src dst [w]' per line); "
+                        "applied after the first workload pass, then the "
+                        "workload replays against the updated graph")
     s.add_argument("--status-json", action="store_true",
                    help="dump the final engine status as JSON")
     s.add_argument("--width", type=int, default=32, choices=(32, 64))
     s.set_defaults(fn=_cmd_serve)
+
+    t = sub.add_parser(
+        "stream-apply",
+        help="apply streaming edge updates with incremental analytics")
+    t.add_argument("input", type=Path)
+    t.add_argument("updates", type=Path,
+                   help="text update file: '[+|-] src dst [weight]' per "
+                        "line ('+' insert, '-' delete; '+' is the default)")
+    t.add_argument("--ranks", type=int, default=4)
+    t.add_argument("--partition", choices=("vblock", "rand"),
+                   default="vblock")
+    t.add_argument("--batch-size", type=int, default=0,
+                   help="split the update file into batches of this many "
+                        "updates (0 = one batch)")
+    t.add_argument("--iters", type=int, default=10,
+                   help="PageRank iterations per epoch")
+    t.add_argument("--timeout", type=float, default=120.0,
+                   help="per-collective-wait timeout seconds (0 disables)")
+    t.add_argument("--width", type=int, default=32, choices=(32, 64))
+    t.set_defaults(fn=_cmd_stream_apply)
 
     k = sub.add_parser(
         "check", help="run the spmdlint SPMD-correctness static pass")

@@ -117,6 +117,36 @@ class DistGraph:
         return self.out_degrees() + self.in_degrees()
 
     # ------------------------------------------------------------------
+    def sort_adjacency(self) -> "DistGraph":
+        """Sort every adjacency row by neighbor *global* id, in place.
+
+        :func:`~repro.graph.build.build_dist_graph` preserves the input
+        edge order within each row, which depends on how the edge list was
+        generated and exchanged.  The streaming subsystem needs a
+        *canonical* row order so that a :class:`~repro.stream.deltagraph.
+        DynamicDistGraph` (base rows merged with sorted delta rows) and a
+        from-scratch rebuild of the same logical graph produce bitwise
+        identical analytics: segment sums via ``np.add.reduceat`` reduce
+        each row sequentially, so the summation order must match.  Sorting
+        by global id (local ids mix owned and ghost numbering, which
+        differs across representations) with a stable sort gives that
+        canonical order.  Edge values, when present, travel with their
+        edges.  Returns ``self``.
+        """
+        for ind, name in ((self.out_indexes, "out"), (self.in_indexes, "in")):
+            adj = getattr(self, f"{name}_edges")
+            vals = getattr(self, f"{name}_values")
+            if not len(adj):
+                continue
+            lens = csr_row_lengths(ind)
+            rows = np.repeat(np.arange(self.n_loc, dtype=np.int64), lens)
+            order = np.lexsort((self.unmap[adj], rows))
+            setattr(self, f"{name}_edges", adj[order])
+            if vals is not None:
+                setattr(self, f"{name}_values", vals[order])
+        return self
+
+    # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
         """Approximate resident bytes of this rank's graph structures."""
         total = (

@@ -876,12 +876,35 @@ class AlltoallvPlan:
     cross-checks peer counts against the plan.  Under the buffer sanitizer
     the plan registers its persistent buffers once at construction (they
     are rank-private by design), not once per epoch.
+
+    A plan whose exchange *shape* changes between executions — the
+    streaming update router sends a different number of rows per batch —
+    is :meth:`refit` rather than rebuilt: counts and displacements are
+    recomputed, the backing stores grow geometrically when needed, and the
+    ``plan_id`` (hence the verifier signature) is preserved.
     """
 
     def __init__(self, comm: Communicator, sendcounts: np.ndarray,
                  recvcounts: np.ndarray, dtype: Any, tail: tuple[int, ...],
                  plan_id: int, name: str = ""):
         self.comm = comm
+        self.dtype = np.dtype(dtype)
+        self.tail = tuple(int(t) for t in tail)
+        self.plan_id = plan_id
+        self.name = name
+        self._send_store = np.zeros((0,) + self.tail, dtype=self.dtype)
+        self._recv_store = np.empty((0,) + self.tail, dtype=self.dtype)
+        self._validated_external: np.ndarray | None = None
+        self._set_counts(sendcounts, recvcounts)
+
+    def _set_counts(self, sendcounts: np.ndarray,
+                    recvcounts: np.ndarray) -> None:
+        """Freeze counts/displacements and (re)point the buffer views.
+
+        Backing stores grow geometrically and never shrink, so refitting a
+        plan to a smaller or slightly larger exchange reuses the existing
+        allocations; ``sendbuf``/``recvbuf`` are contiguous prefix views.
+        """
         self.sendcounts = sendcounts
         self.recvcounts = recvcounts
         self.sdispls = np.concatenate(
@@ -890,16 +913,59 @@ class AlltoallvPlan:
             ([0], np.cumsum(recvcounts[:-1]))).astype(np.int64)
         self.n_send = int(sendcounts.sum())
         self.n_recv = int(recvcounts.sum())
-        self.dtype = np.dtype(dtype)
-        self.tail = tuple(int(t) for t in tail)
-        self.plan_id = plan_id
-        self.name = name
-        self.sendbuf = np.zeros((self.n_send,) + self.tail, dtype=self.dtype)
-        self.recvbuf = np.empty((self.n_recv,) + self.tail, dtype=self.dtype)
-        self._validated_external: np.ndarray | None = None
-        sanitizer = comm._world.sanitizer
+        if len(self._send_store) < self.n_send:
+            cap = max(self.n_send, 2 * len(self._send_store))
+            self._send_store = np.zeros((cap,) + self.tail, dtype=self.dtype)
+        if len(self._recv_store) < self.n_recv:
+            cap = max(self.n_recv, 2 * len(self._recv_store))
+            self._recv_store = np.empty((cap,) + self.tail, dtype=self.dtype)
+        self.sendbuf = self._send_store[:self.n_send]
+        self.recvbuf = self._recv_store[:self.n_recv]
+        self._validated_external = None
+        sanitizer = self.comm._world.sanitizer
         if sanitizer is not None:
-            sanitizer.register_persistent((self.sendbuf, self.recvbuf))
+            sanitizer.register_persistent(
+                (self._send_store, self._recv_store,
+                 self.sendbuf, self.recvbuf))
+
+    def refit(self, sendcounts: np.ndarray,
+              recvcounts: np.ndarray | None = None) -> "AlltoallvPlan":
+        """Re-shape the plan for new per-destination counts, in place.
+
+        The streaming update path routes a different number of edge
+        updates every batch; rebuilding a plan per batch would burn a new
+        ``plan_id`` (diverging the verifier signature between ranks that
+        batch at different times) and reallocate both buffers.  ``refit``
+        keeps the plan identity and the backing stores — growing them
+        geometrically when a batch outgrows capacity — and only recomputes
+        counts and displacements.
+
+        Like construction, ``recvcounts=None`` derives the receive side
+        with one object ``alltoall`` (a collective: all ranks must refit
+        together); passing explicit ``recvcounts`` keeps the refit purely
+        local.  Returns ``self`` for chaining.
+        """
+        sendcounts = np.ascontiguousarray(sendcounts, dtype=np.int64)
+        if sendcounts.shape != (self.comm.size,):
+            raise CommUsageError(
+                f"plan needs exactly {self.comm.size} send counts, got "
+                f"shape {sendcounts.shape}")
+        if len(sendcounts) and sendcounts.min() < 0:
+            raise CommUsageError("negative send count")
+        if recvcounts is None:
+            recvcounts = np.array(
+                self.comm.alltoall([int(c) for c in sendcounts]),
+                dtype=np.int64)
+        else:
+            recvcounts = np.ascontiguousarray(recvcounts, dtype=np.int64)
+            if recvcounts.shape != (self.comm.size,):
+                raise CommUsageError(
+                    f"plan needs exactly {self.comm.size} recv counts, "
+                    f"got shape {recvcounts.shape}")
+            if len(recvcounts) and recvcounts.min() < 0:
+                raise CommUsageError("negative recv count")
+        self._set_counts(sendcounts, recvcounts)
+        return self
 
     def _validate_external(self, sendbuf: np.ndarray) -> np.ndarray:
         """One-time validation of a caller-owned send buffer.

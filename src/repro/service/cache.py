@@ -12,6 +12,15 @@ treat them as immutable.  :meth:`ResultCache.put` enforces that for the
 common case by freezing every ndarray reachable in the stored value
 (``writeable=False``), so an accidental in-place edit of a served result
 raises instead of silently corrupting every later cache hit.
+
+Entries may carry **tags** — opaque hashable markers of what the result
+depends on (the engine tags every entry with the partition ranks whose
+shard it read).  :meth:`ResultCache.invalidate` drops every entry whose
+tag set intersects the given tags: when a streaming update mutates some
+partitions, the engine invalidates by the affected ranks, reclaiming
+entries immediately instead of letting dead fingerprints age out of the
+LRU.  (Correctness never rests on invalidation — the fingerprint in every
+key already prevents stale hits; tags are capacity hygiene.)
 """
 
 from __future__ import annotations
@@ -84,10 +93,12 @@ class ResultCache:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self._data: OrderedDict[tuple, Any] = OrderedDict()
+        self._tags: dict[tuple, frozenset] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: tuple) -> tuple[bool, Any]:
         """Look up ``key``; returns ``(hit, value)`` and refreshes recency."""
@@ -99,24 +110,49 @@ class ResultCache:
             self.misses += 1
             return False, None
 
-    def put(self, key: tuple, value: Any) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+    def put(self, key: tuple, value: Any,
+            tags: "tuple | frozenset | list" = ()) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full.
+
+        ``tags`` records what the entry depends on, for later
+        :meth:`invalidate` calls; untagged entries only leave via LRU
+        eviction or a fingerprint change making their key unreachable.
+        """
         if self.capacity == 0:
             return
         freeze_result(value)
         with self._lock:
+            tagset = frozenset(tags)
             if key in self._data:
                 self._data.move_to_end(key)
                 self._data[key] = value
+                self._tags[key] = tagset
                 return
             self._data[key] = value
+            self._tags[key] = tagset
             while len(self._data) > self.capacity:
-                self._data.popitem(last=False)
+                old, _ = self._data.popitem(last=False)
+                self._tags.pop(old, None)
                 self.evictions += 1
+
+    def invalidate(self, tags) -> int:
+        """Drop every entry whose tag set intersects ``tags``; returns the
+        number of entries removed."""
+        probe = frozenset(tags)
+        if not probe:
+            return 0
+        with self._lock:
+            dead = [k for k, t in self._tags.items() if t & probe]
+            for k in dead:
+                del self._data[k]
+                del self._tags[k]
+            self.invalidations += len(dead)
+            return len(dead)
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._tags.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -132,5 +168,6 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }

@@ -262,6 +262,56 @@ def _ppr_split(jobs: list[Job], payload: dict) -> list[Any]:
             for j, job in enumerate(jobs)]
 
 
+def _stream_apply_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+    """Apply one edge-update batch to the resident graph (collective).
+
+    The first applied batch promotes the resident shards to a
+    :class:`~repro.stream.DynamicDistGraph`; afterwards ``state["graph"]``
+    always holds the dynamic graph's epoch-tagged immutable snapshot
+    (:meth:`~repro.stream.DynamicDistGraph.view`), so every query kind
+    keeps serving unchanged while updates stream in between jobs.
+    """
+    p = jobs[0].params
+
+    def fn(comm, state):
+        from ..stream import DynamicDistGraph, UpdateBatch
+
+        with comm.region("engine.stream_apply"):
+            dyn = state.get("dyn")
+            if dyn is None:
+                dyn = DynamicDistGraph(comm, state["graph"])
+                state["dyn"] = dyn
+            sl = np.array_split(np.arange(len(p["src"])), comm.size)[comm.rank]
+            batch = UpdateBatch(
+                p["src"][sl], p["dst"][sl], p["op"][sl],
+                p["values"][sl] if p["values"] is not None else None)
+            res = dyn.apply(batch)
+            state["graph"] = dyn.view()
+            rec = dyn.journal_since(res.epoch - 1)[0]
+            touched = bool(len(rec.out_rows) or len(rec.in_rows))
+            affected = comm.allgather(touched)
+            if comm.rank:
+                return None
+            crc = zlib.crc32(p["src"].tobytes())
+            crc = zlib.crc32(p["dst"].tobytes(), crc)
+            crc = zlib.crc32(p["op"].tobytes(), crc)
+            if p["values"] is not None:
+                crc = zlib.crc32(p["values"].tobytes(), crc)
+            return {
+                "epoch": res.epoch,
+                "n_inserted": res.n_inserted,
+                "n_deleted": res.n_deleted,
+                "n_missing": res.n_missing,
+                "ghosts_changed": res.ghosts_changed,
+                "compacted": res.compacted,
+                "m_global": res.m_global,
+                "affected_ranks": [r for r, a in enumerate(affected) if a],
+                "batch_crc": crc,
+            }
+
+    return fn
+
+
 def _debug_fail_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     fail_rank = int(jobs[0].params.get("fail_rank", 0))
 
@@ -304,6 +354,10 @@ _KINDS: dict[str, _KindSpec] = {
                            batch_params=()),
     "ppr": _KindSpec("ppr", _ppr_fn, _ppr_split,
                      batch_params=("damping", "max_iters", "tol")),
+    # Streaming mutation (serialized with queries by the dispatcher; not
+    # a served analytic, hence the underscore).
+    "_stream_apply": _KindSpec("_stream_apply", _stream_apply_fn,
+                               _single_split, cacheable=False),
     # Test/ops hooks: deliberately failing and slow jobs.
     "_debug_fail": _KindSpec("_debug_fail", _debug_fail_fn, _single_split,
                              cacheable=False),
@@ -439,6 +493,14 @@ class AnalyticsEngine:
                 from _first_error(errors)
         self.n_global, self.m_global, self.fingerprint, self.built_from = \
             results[0]
+        # Streaming-update state: the resident graph's epoch (0 = the
+        # as-built graph) and ingest counters surfaced by status().
+        self.epoch = 0
+        self._stream = {
+            "batches_applied": 0, "edges_inserted": 0, "edges_deleted": 0,
+            "missing_deletes": 0, "compactions": 0, "ghost_rebuilds": 0,
+            "cache_invalidated": 0,
+        }
 
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="engine-dispatch", daemon=True)
@@ -622,10 +684,45 @@ class AnalyticsEngine:
         with self._lock:
             self._counters["completed"] += len(batch)
         for job, res in zip(batch, per_job):
+            if job.kind == "_stream_apply":
+                self._note_stream_apply(res)
             if spec.cacheable:
+                # Tag with the partition ranks the result depends on (all
+                # of them, for today's global kinds), so streaming updates
+                # can invalidate by affected partition.
                 self.cache.put(
-                    cache_key(self.fingerprint, job.kind, job.params), res)
+                    cache_key(self.fingerprint, job.kind, job.params), res,
+                    tags=tuple(("part", r) for r in range(self.nranks)))
             job.finish(result=res)
+
+    def _note_stream_apply(self, res: dict) -> None:
+        """Driver-side bookkeeping after one applied update batch.
+
+        Runs on the dispatcher thread (serialized with every query), so
+        fingerprint evolution and cache invalidation are atomic w.r.t.
+        dispatch-time cache fills.  A batch with no effective mutation
+        (empty, or all deletes missing) leaves fingerprint and cache
+        untouched — still-valid entries keep serving.
+        """
+        effective = res["n_inserted"] or res["n_deleted"]
+        with self._lock:
+            self._stream["batches_applied"] += 1
+            self._stream["edges_inserted"] += res["n_inserted"]
+            self._stream["edges_deleted"] += res["n_deleted"]
+            self._stream["missing_deletes"] += res["n_missing"]
+            self._stream["compactions"] += int(res["compacted"])
+            self._stream["ghost_rebuilds"] += int(res["ghosts_changed"])
+            self.epoch = res["epoch"]
+            if effective:
+                self.m_global = res["m_global"]
+                self.fingerprint = hashlib.sha1(
+                    f"{self.fingerprint}:{res['epoch']}:"
+                    f"{res['batch_crc']}".encode()).hexdigest()[:16]
+        if effective:
+            n_inv = self.cache.invalidate(
+                ("part", r) for r in res["affected_ranks"])
+            with self._lock:
+                self._stream["cache_invalidated"] += n_inv
 
     # ------------------------------------------------------------------
     # public API
@@ -699,6 +796,41 @@ class AnalyticsEngine:
         """Synchronous convenience: :meth:`submit` + :meth:`result`."""
         return self.result(self.submit(kind, timeout=timeout, **params))
 
+    def apply_updates(self, src, dst, op=None, values=None, *,
+                      timeout: float | None = None) -> dict:
+        """Apply one batch of edge updates to the resident graph.
+
+        Blocks until the batch is integrated and returns the global
+        outcome (epoch, effective insert/delete/missing counts,
+        compaction).  The mutation is dispatched through the job
+        scheduler, so it is serialized with in-flight queries: queries
+        submitted before it see the previous epoch's snapshot, queries
+        after it see the new one.  On any effective change the engine
+        evolves its graph fingerprint (re-keying every later cache entry)
+        and invalidates cached results for the affected partitions.
+
+        Parameters
+        ----------
+        src, dst:
+            Global endpoint ids, one per update.
+        op:
+            ``+1`` insert / ``-1`` delete per update; all inserts when
+            omitted.
+        values:
+            Optional per-insert edge weight (weighted graphs only).
+        """
+        src = np.ascontiguousarray(src, dtype=np.int64).reshape(-1)
+        dst = np.ascontiguousarray(dst, dtype=np.int64).reshape(-1)
+        if op is None:
+            op = np.ones(len(src), dtype=np.int64)
+        else:
+            op = np.ascontiguousarray(op, dtype=np.int64).reshape(-1)
+        if values is not None:
+            values = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+        return self.result(self.submit(
+            "_stream_apply", timeout=timeout,
+            src=src, dst=dst, op=op, values=values))
+
     # ------------------------------------------------------------------
     def pause(self) -> None:
         """Stop dispatching (queued jobs accumulate; used for batch demos)."""
@@ -712,6 +844,7 @@ class AnalyticsEngine:
         with self._lock:
             counters = dict(self._counters)
             comm = dict(self._comm_totals)
+            stream = dict(self._stream)
         return {
             "nranks": self.nranks,
             "n_global": self.n_global,
@@ -719,6 +852,8 @@ class AnalyticsEngine:
             "partition": self.partition_kind,
             "fingerprint": self.fingerprint,
             "built_from": self.built_from,
+            "epoch": self.epoch,
+            "stream": stream,
             "uptime_s": time.perf_counter() - self._t_start,
             "pending": self.scheduler.pending(),
             "max_pending": self.scheduler.max_pending,

@@ -1,0 +1,689 @@
+"""Dynamic distributed graph: delta-CSR overlays on an immutable base.
+
+:class:`DynamicDistGraph` makes a built :class:`~repro.graph.distgraph.
+DistGraph` mutable without rebuilding it per batch, following the
+batched-update playbook of Dhulipala et al. (see PAPERS.md): the base CSR
+stays immutable and each rank overlays
+
+* a **tombstone mask** over the base adjacency (one bit per stored edge —
+  a deletion hides the entry without moving memory), and
+* a **sorted insert overlay** per direction: arrays of ``(row, neighbor,
+  sequence)`` kept ordered by ``(row, neighbor-gid, age)``, so any row's
+  current adjacency is the gid-ordered merge of its surviving base
+  segment and its overlay run.
+
+Rows are kept in **canonical gid-sorted order** (the base is
+:meth:`~repro.graph.distgraph.DistGraph.sort_adjacency`-ed at wrap time):
+the merged adjacency of a row is then bitwise order-identical to the same
+row in a from-scratch rebuild of the updated edge list, which is what
+lets the incremental analytics (:mod:`repro.stream.incremental`) promise
+*bitwise* equality with the static kernels — ``np.add.reduceat`` reduces
+each row sequentially, so matching element order means matching floating-
+point sums.
+
+**Batch semantics** (deterministic, order-independent across ranks): per
+``(row, neighbor)`` group a batch's deletes consume copies oldest-first —
+surviving base entries, then older overlay entries, then the batch's own
+inserts in arrival order (arrival = source rank, then position in that
+rank's chunk); deletes beyond the available copies are counted *missing*
+(reported, not an error — all ranks agree on the count via one
+allreduce).  Remaining inserts append to the overlay.
+
+**Ghost maintenance**: endpoints unknown to the rank become new ghosts
+(appended to ``unmap``/``map``/``ghost_tasks``); whenever any rank's
+ghost set changes — an allreduced decision, so every rank takes the same
+path — the :class:`~repro.analytics.exchange.HaloExchange` is rebuilt
+collectively.  Unreferenced ghosts are garbage-collected at compaction.
+
+**Compaction**: when the overlay + tombstone volume crosses
+``compact_threshold`` × base size on *any* rank (again an allreduced
+decision), every rank merges its overlays into a fresh base CSR, drops
+unreferenced ghosts, and rebuilds the halo.  Compaction changes ghost
+local ids but never owned ids (always ``0..n_loc-1`` in ascending gid
+order), which is why the incremental kernels key their memos by owned id.
+
+``apply`` is collective; its schedule is identical on every rank (all
+data-dependent branches — ghost growth, compaction — are taken on
+allreduced values), so it runs clean under the collective-schedule
+verifier and the buffer sanitizer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analytics.exchange import HaloExchange
+from ..graph.csr import csr_row_lengths, expand_rows, sorted_unique
+from ..graph.distgraph import DistGraph
+from ..runtime import MAX, SUM, Communicator
+from .updates import DELETE, INSERT, UpdateBatch, UpdateRouter
+
+__all__ = ["ApplyResult", "EpochRecord", "DynamicDistGraph"]
+
+#: Batches of journal history retained for incremental consumers; a
+#: consumer further behind than this resynchronizes with a full pass.
+_JOURNAL_KEEP = 64
+
+
+def _span_indices(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start+len)`` for each (start, len)."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(lens[:-1]))), lens)
+    return np.repeat(starts, lens) + offsets
+
+
+def _csr_insert(indptr: np.ndarray, lids: np.ndarray, unmap: np.ndarray,
+                rows: np.ndarray, new_lids: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Insert entries into a per-row gid-sorted CSR without re-sorting it.
+
+    ``(rows, new_lids)`` must be in (row, gid, seq) order — the order
+    journal records carry overlay inserts in — so each entry lands after
+    every existing same-gid entry of its row and ties between new entries
+    stay in sequence order, reproducing exactly what a full merge lexsort
+    would produce.  Cost is one O(m) copy instead of an O(m log m) sort.
+    """
+    if len(rows) == 0:
+        return indptr, lids
+    pos = np.empty(len(rows), dtype=np.int64)
+    uniq, first = np.unique(rows, return_index=True)
+    bounds = np.concatenate((first, [len(rows)]))
+    for j, r in enumerate(uniq):
+        seg = lids[indptr[r]:indptr[r + 1]]
+        lo, hi = bounds[j], bounds[j + 1]
+        pos[lo:hi] = indptr[r] + np.searchsorted(
+            unmap[seg], unmap[new_lids[lo:hi]], side="right")
+    counts = np.bincount(rows, minlength=len(indptr) - 1)
+    new_indptr = indptr + np.concatenate(([0], np.cumsum(counts)))
+    return new_indptr, np.insert(lids, pos, new_lids)
+
+
+@dataclass(frozen=True)
+class ApplyResult:
+    """Global outcome of one applied batch (identical on every rank)."""
+
+    epoch: int
+    n_inserted: int  # insertions surviving the batch's own deletes
+    n_deleted: int  # deletions of *stored* copies (base or overlay);
+    #                 same-batch insert/delete cancels count in neither
+    n_missing: int  # deletes that matched no stored copy
+    ghosts_changed: bool
+    compacted: bool
+    m_global: int
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Journal entry for one epoch, consumed by incremental analytics.
+
+    Row/lid fields are rank-local; counters are global (allreduced), so
+    reuse-vs-recompute decisions made from them are SPMD-symmetric.
+    ``ins_src_gid/ins_dst_gid`` list this rank's *out-direction* surviving
+    inserts — each global insert appears on exactly one rank, so an
+    allgather of these yields the batch's insert set exactly once.
+    ``in_ins_row/in_ins_lid`` are the in-direction surviving inserts, for
+    reverse-index (feeds) upkeep.
+    """
+
+    epoch: int
+    out_rows: np.ndarray
+    in_rows: np.ndarray
+    ins_src_gid: np.ndarray
+    ins_dst_gid: np.ndarray
+    in_ins_row: np.ndarray
+    in_ins_lid: np.ndarray
+    n_inserted: int
+    n_deleted: int
+    n_missing: int
+    ghosts_changed: bool
+    compacted: bool
+
+
+class _DirState:
+    """One direction's base CSR plus its delta overlay."""
+
+    def __init__(self, indptr: np.ndarray, lids: np.ndarray,
+                 gids: np.ndarray, vals: np.ndarray | None,
+                 n_global: int):
+        self.indptr = indptr
+        self.lids = lids
+        self.gids = gids  # unmap[lids], cached (stable until compaction)
+        self.vals = vals
+        self.n_global = n_global
+        # Composite (row, gid) key per base entry; rows are gid-sorted so
+        # this is globally sorted and searchsorted finds any group's run.
+        self.keys = expand_rows(indptr) * n_global + gids
+        self.tomb = np.zeros(len(lids), dtype=bool)
+        self.n_tomb = 0
+        z = np.empty(0, dtype=np.int64)
+        self.ins_row = z
+        self.ins_lid = z.copy()
+        self.ins_gid = z.copy()
+        self.ins_seq = z.copy()
+        self.ins_val = (np.empty(0, dtype=np.float64)
+                        if vals is not None else None)
+        self._seq = 0
+
+    @property
+    def overlay_fraction(self) -> float:
+        return (self.n_tomb + len(self.ins_row)) / max(1, len(self.lids))
+
+    # ------------------------------------------------------------------
+    def apply(self, rows: np.ndarray, nbr_gids: np.ndarray,
+              nbr_lids: np.ndarray, op: np.ndarray,
+              vals: np.ndarray | None) -> tuple[int, int, int, np.ndarray]:
+        """Integrate one routed batch; returns (inserted, deleted,
+        missing, per-row degree delta as (rows, deltas))."""
+        k = len(rows)
+        n_rows = len(self.indptr) - 1
+        if k == 0:
+            z = np.empty(0, dtype=np.int64)
+            return 0, 0, 0, (z, z.copy())
+        arrival = np.arange(k, dtype=np.int64)
+        order = np.lexsort((arrival, nbr_gids, rows))
+        r = rows[order]
+        g = nbr_gids[order]
+        lid = nbr_lids[order]
+        o = op[order]
+        v = vals[order] if vals is not None else None
+
+        # --- group structure over (row, gid) -------------------------------
+        key = r * self.n_global + g
+        new_grp = np.empty(k, dtype=bool)
+        new_grp[0] = True
+        np.not_equal(key[1:], key[:-1], out=new_grp[1:])
+        starts = np.flatnonzero(new_grp)
+        lens = np.diff(np.concatenate((starts, [k])))
+        gkey = key[starts]
+        grow = r[starts]
+
+        # --- per-group existing copies -------------------------------------
+        base_lo = np.searchsorted(self.keys, gkey, side="left")
+        base_hi = np.searchsorted(self.keys, gkey, side="right")
+        alive_pref = np.concatenate(
+            ([0], np.cumsum(~self.tomb))).astype(np.int64)
+        e_base = alive_pref[base_hi] - alive_pref[base_lo]
+        ov_key = self.ins_row * self.n_global + self.ins_gid
+        ov_lo = np.searchsorted(ov_key, gkey, side="left")
+        ov_hi = np.searchsorted(ov_key, gkey, side="right")
+        e_ov = ov_hi - ov_lo
+
+        # --- missing deletes: clamped-at-zero sequential walk --------------
+        # pref[j] = (#deletes - #inserts) among the group's first j+1 ops;
+        # a delete misses exactly when the walk would drop below zero, i.e.
+        # missing = max(0, max_j pref[j] - existing).
+        dmi = np.where(o == DELETE, 1, -1).astype(np.int64)
+        cum = np.cumsum(dmi)
+        grp_base = np.repeat(cum[starts] - dmi[starts], lens)
+        pref = cum - grp_base
+        max_pref = np.maximum(np.maximum.reduceat(pref, starts), 0)
+        d_g = np.add.reduceat((o == DELETE).astype(np.int64), starts)
+        i_g = lens - d_g
+        missing = np.maximum(0, max_pref - (e_base + e_ov))
+        s_g = d_g - missing  # successful deletes per group
+
+        # --- removal assignment, oldest copies first -----------------------
+        rem_base = np.minimum(s_g, e_base)
+        rem_ov = np.minimum(s_g - rem_base, e_ov)
+        rem_new = s_g - rem_base - rem_ov
+
+        hit = np.flatnonzero(rem_base > 0)
+        if len(hit):
+            span_lens = base_hi[hit] - base_lo[hit]
+            pos = _span_indices(base_lo[hit], span_lens)
+            rank_in_run = alive_pref[pos] - np.repeat(
+                alive_pref[base_lo[hit]], span_lens)
+            sel = ~self.tomb[pos] & (
+                rank_in_run < np.repeat(rem_base[hit], span_lens))
+            self.tomb[pos[sel]] = True
+            self.n_tomb += int(sel.sum())
+
+        hit = np.flatnonzero(rem_ov > 0)
+        if len(hit):
+            drop = _span_indices(ov_lo[hit], rem_ov[hit])
+            keep = np.ones(len(self.ins_row), dtype=bool)
+            keep[drop] = False
+            self.ins_row = self.ins_row[keep]
+            self.ins_lid = self.ins_lid[keep]
+            self.ins_gid = self.ins_gid[keep]
+            self.ins_seq = self.ins_seq[keep]
+            if self.ins_val is not None:
+                self.ins_val = self.ins_val[keep]
+
+        # --- surviving new inserts -----------------------------------------
+        is_ins = o == INSERT
+        ins_cum = np.cumsum(is_ins.astype(np.int64))
+        ins_rank = ins_cum - np.repeat(
+            ins_cum[starts] - is_ins[starts].astype(np.int64), lens) - 1
+        keep_new = is_ins & (ins_rank >= np.repeat(rem_new, lens))
+        n_new = int(keep_new.sum())
+        if n_new:
+            seq = self._seq + np.arange(k, dtype=np.int64)
+            self._seq += k
+            self.ins_row = np.concatenate((self.ins_row, r[keep_new]))
+            self.ins_lid = np.concatenate((self.ins_lid, lid[keep_new]))
+            self.ins_gid = np.concatenate((self.ins_gid, g[keep_new]))
+            self.ins_seq = np.concatenate((self.ins_seq, seq[keep_new]))
+            if self.ins_val is not None:
+                newv = (v[keep_new] if v is not None
+                        else np.ones(n_new, dtype=np.float64))
+                self.ins_val = np.concatenate((self.ins_val, newv))
+            ov_order = np.lexsort(
+                (self.ins_seq, self.ins_gid, self.ins_row))
+            self.ins_row = self.ins_row[ov_order]
+            self.ins_lid = self.ins_lid[ov_order]
+            self.ins_gid = self.ins_gid[ov_order]
+            self.ins_seq = self.ins_seq[ov_order]
+            if self.ins_val is not None:
+                self.ins_val = self.ins_val[ov_order]
+
+        if len(grow) and (grow.min() < 0 or grow.max() >= n_rows):
+            raise ValueError("routed update row out of range")
+        deg_delta = (i_g - s_g).astype(np.int64)
+        touched = np.flatnonzero(deg_delta != 0)
+        # Deletes that consumed the batch's own inserts (rem_new) cancel
+        # out: they appear in neither counter, keeping
+        # n_inserted - n_deleted == the true edge-count delta.
+        return (n_new, int((rem_base + rem_ov).sum()), int(missing.sum()),
+                (grow[touched], deg_delta[touched]))
+
+    def gather_rows(self, rows: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merged, gid-sorted adjacency of the given rows.
+
+        Returns ``(counts, lids)``: ``counts[i]`` entries of ``lids``
+        belong to ``rows[i]``, in exactly the per-row order
+        :meth:`merged` produces (neighbor gid ascending; on ties base
+        copies before overlay copies, overlay copies in sequence order).
+        Base and overlay are each already gid-sorted per row, so overlay
+        entries are placed by per-row binary search (upper bound plus
+        ordinal) — cost is proportional to the selected rows' degrees,
+        never the whole direction.  This is what keeps the incremental
+        kernels' per-iteration dirty-row queries cheap.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        nr = len(rows)
+        lo = self.indptr[rows]
+        lens_b0 = self.indptr[rows + 1] - lo
+        pos = _span_indices(lo, lens_b0)
+        o_lo = np.searchsorted(self.ins_row, rows, side="left")
+        o_hi = np.searchsorted(self.ins_row, rows, side="right")
+        lens_o = o_hi - o_lo
+        if self.n_tomb == 0:
+            # Tombstone-free fast path (insert-only history, the common
+            # streaming regime): every base entry survives, so per-row
+            # bounds come straight from ``self.keys`` — no base-gid
+            # gather, no per-entry row tags, no bincount.
+            b_lids = self.lids[pos]
+            counts = lens_b0 + lens_o
+            if not lens_o.any():
+                return counts, b_lids
+            opos = _span_indices(o_lo, lens_o)
+            o_idx = np.repeat(np.arange(nr, dtype=np.int64), lens_o)
+            o_lids = self.ins_lid[opos]
+            o_key = (self.ins_row[opos] * self.n_global
+                     + self.ins_gid[opos])
+            bound = np.searchsorted(self.keys, o_key, side="right")
+            ins_pos = bound - lo[o_idx]
+        else:
+            keep = ~self.tomb[pos]
+            b_idx = np.repeat(np.arange(nr, dtype=np.int64), lens_b0)[keep]
+            b_lids = self.lids[pos[keep]]
+            b_gids = self.gids[pos[keep]]
+            counts_b = np.bincount(b_idx, minlength=nr).astype(np.int64)
+            counts = counts_b + lens_o
+            if not lens_o.any():
+                return counts, b_lids
+            opos = _span_indices(o_lo, lens_o)
+            o_idx = np.repeat(np.arange(nr, dtype=np.int64), lens_o)
+            o_lids = self.ins_lid[opos]
+            base_starts = np.concatenate(
+                ([0], np.cumsum(counts_b))).astype(np.int64)
+            # One composite-key binary search places every overlay entry:
+            # per-selected-row key ranges (idx * n_global + gid) are
+            # disjoint, so a global upper bound over the gathered base
+            # entries is the per-row upper bound.
+            bound = np.searchsorted(
+                b_idx * self.n_global + b_gids,
+                o_idx * self.n_global + self.ins_gid[opos], side="right")
+            ins_pos = bound - base_starts[o_idx]
+        # The ordinal among a row's overlay entries resolves gid ties in
+        # sequence order (they are appended after base copies).
+        out_starts = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        o_off = np.concatenate(([0], np.cumsum(lens_o))).astype(np.int64)
+        ordinal = np.arange(len(o_idx), dtype=np.int64) - o_off[o_idx]
+        out = np.empty(int(counts.sum()), dtype=np.int64)
+        o_dest = out_starts[o_idx] + ins_pos + ordinal
+        fill = np.ones(len(out), dtype=bool)
+        fill[o_dest] = False
+        out[fill] = b_lids
+        out[o_dest] = o_lids
+        return counts, out
+
+    def merged(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray | None]:
+        """Full merged direction: (indptr, lids, gids, vals)."""
+        n_rows = len(self.indptr) - 1
+        keep = ~self.tomb
+        b_rows = expand_rows(self.indptr)[keep]
+        b_lids = self.lids[keep]
+        b_gids = self.gids[keep]
+        rows = np.concatenate((b_rows, self.ins_row))
+        lids = np.concatenate((b_lids, self.ins_lid))
+        gids = np.concatenate((b_gids, self.ins_gid))
+        order = np.lexsort((gids, rows))
+        counts = np.bincount(rows, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        vals = None
+        if self.vals is not None:
+            vals = np.concatenate((self.vals[keep], self.ins_val))[order]
+        return indptr, lids[order], gids[order], vals
+
+
+class DynamicDistGraph:
+    """Mutable overlay over an immutable base :class:`DistGraph`.
+
+    Wrapping **takes ownership** of the base graph: its adjacency is
+    sorted into canonical gid order in place (unless ``assume_sorted``)
+    and its global-id map is extended as ghosts appear.  Construction and
+    :meth:`apply` are collective.
+
+    The wrapper duck-types the ``DistGraph`` surface the communication
+    layer needs (``n_loc``/``n_gst``/``unmap``/``map``/``ghost_tasks``/
+    ``n_total``), so a :class:`~repro.analytics.exchange.HaloExchange`
+    binds to it directly; static kernels run on the materialized (and
+    epoch-cached) :meth:`view`.
+    """
+
+    def __init__(self, comm: Communicator, base: DistGraph,
+                 compact_threshold: float = 0.25,
+                 assume_sorted: bool = False):
+        if not (0.0 < compact_threshold):
+            raise ValueError("compact_threshold must be positive")
+        self.comm = comm
+        self.compact_threshold = float(compact_threshold)
+        if not assume_sorted:
+            base.sort_adjacency()
+        self.base = base
+        self.partition = base.partition
+        self.rank = base.rank
+        self.nparts = base.nparts
+        self.n_global = base.n_global
+        self._m_global = base.m_global
+        self.map = base.map
+        self._unmap = base.unmap
+        self._ghost_tasks = base.ghost_tasks
+        self._out = _DirState(base.out_indexes, base.out_edges,
+                              base.unmap[base.out_edges], base.out_values,
+                              base.n_global)
+        self._in = _DirState(base.in_indexes, base.in_edges,
+                             base.unmap[base.in_edges], base.in_values,
+                             base.n_global)
+        self._outdeg = csr_row_lengths(base.out_indexes).astype(np.int64)
+        self._indeg = csr_row_lengths(base.in_indexes).astype(np.int64)
+        self.epoch = 0
+        self.structure_epoch = 0
+        self.router = UpdateRouter(comm, base.partition)
+        self._journal: deque[EpochRecord] = deque(maxlen=_JOURNAL_KEEP)
+        self._view: DistGraph | None = None
+        self._view_epoch = -1
+        self.halo = HaloExchange(comm, self)
+
+    # --- DistGraph-compatible surface ---------------------------------
+    @property
+    def n_loc(self) -> int:
+        return len(self._out.indptr) - 1
+
+    @property
+    def n_gst(self) -> int:
+        return len(self._ghost_tasks)
+
+    @property
+    def n_total(self) -> int:
+        return self.n_loc + self.n_gst
+
+    @property
+    def m_global(self) -> int:
+        return self._m_global
+
+    @property
+    def unmap(self) -> np.ndarray:
+        return self._unmap
+
+    @property
+    def ghost_tasks(self) -> np.ndarray:
+        return self._ghost_tasks
+
+    @property
+    def is_weighted(self) -> bool:
+        return self._out.vals is not None
+
+    def to_local(self, gids: np.ndarray) -> np.ndarray:
+        return self.map.get(gids, default=-1)
+
+    def out_degrees(self) -> np.ndarray:
+        """Maintained out-degree of every owned vertex (no overlay scan)."""
+        return self._outdeg
+
+    def in_degrees(self) -> np.ndarray:
+        """Maintained in-degree of every owned vertex."""
+        return self._indeg
+
+    def in_rows_merged(self, rows: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Merged gid-sorted in-adjacency of selected rows (see
+        :meth:`_DirState.gather_rows`); cost scales with the selected
+        rows' degrees, never with the whole direction."""
+        return self._in.gather_rows(rows)
+
+    def in_csr_merged(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full merged in-CSR ``(indptr, lids)``, cached per epoch.
+
+        A stale cache is caught up *incrementally* when every epoch since
+        it was built only inserted (no effective deletes, no compaction):
+        the journaled in-direction inserts are spliced into the cached
+        arrays via :func:`_csr_insert`, replacing the per-epoch merge
+        lexsort with an O(m) copy.  Any delete or compaction in the
+        window — or a journal gap — falls back to a full rebuild.
+        """
+        cached_epoch = getattr(self, "_in_csr_epoch", -1)
+        if cached_epoch != self.epoch:
+            records = (self.journal_since(cached_epoch)
+                       if cached_epoch >= 0 else None)
+            if records is not None and all(
+                    rec.n_deleted == 0 and not rec.compacted
+                    for rec in records):
+                indptr, lids = self._in_csr
+                for rec in records:
+                    indptr, lids = _csr_insert(
+                        indptr, lids, self.unmap,
+                        rec.in_ins_row, rec.in_ins_lid)
+                self._in_csr = (indptr, lids)
+            else:
+                indptr, lids, _, _ = self._in.merged()
+                self._in_csr = (indptr, lids)
+            self._in_csr_epoch = self.epoch
+        return self._in_csr
+
+    # ------------------------------------------------------------------
+    def journal_since(self, epoch: int) -> list[EpochRecord] | None:
+        """Records for epochs ``epoch+1 .. self.epoch``; ``None`` when the
+        window fell out of the retained journal (consumer must resync)."""
+        if epoch >= self.epoch:
+            return []
+        records = [rec for rec in self._journal if rec.epoch > epoch]
+        if len(records) != self.epoch - epoch:
+            return None
+        return records
+
+    # ------------------------------------------------------------------
+    def _add_ghosts(self, gids: np.ndarray) -> bool:
+        """Register unknown endpoint gids as new ghosts; True if any."""
+        if len(gids) == 0:
+            return False
+        uniq = sorted_unique(gids)
+        missing = uniq[self.map.get(uniq, default=-1) < 0]
+        if len(missing) == 0:
+            return False
+        start = self.n_total
+        new_lids = start + np.arange(len(missing), dtype=np.int64)
+        self.map.insert(missing, new_lids)
+        self._unmap = np.concatenate((self._unmap, missing))
+        self._ghost_tasks = np.concatenate(
+            (self._ghost_tasks, self.partition.owner_of(missing)))
+        return True
+
+    def apply(self, batch: UpdateBatch) -> ApplyResult:
+        """Route and integrate one global batch (collective)."""
+        comm = self.comm
+        n = self.n_global
+        bad = int(np.count_nonzero(
+            (batch.src < 0) | (batch.src >= n)
+            | (batch.dst < 0) | (batch.dst >= n)))
+        if int(comm.allreduce(bad, SUM)):
+            raise ValueError("update batch references out-of-range vertices")
+
+        routed = self.router.route(batch)
+        ghosts_changed = self._add_ghosts(
+            np.concatenate((routed.out_dst, routed.in_src)))
+
+        out_rows = self.partition.to_local(self.rank, routed.out_src)
+        in_rows = self.partition.to_local(self.rank, routed.in_dst)
+        out_nbr = self.map.get(routed.out_dst)
+        in_nbr = self.map.get(routed.in_src)
+
+        n_ins, n_del, n_miss, (o_rows, o_deltas) = self._out.apply(
+            out_rows, routed.out_dst, out_nbr, routed.out_op,
+            routed.out_values)
+        _, _, _, (i_rows, i_deltas) = self._in.apply(
+            in_rows, routed.in_src, in_nbr, routed.in_op, routed.in_values)
+        np.add.at(self._outdeg, o_rows, o_deltas)
+        np.add.at(self._indeg, i_rows, i_deltas)
+
+        # Surviving out-direction inserts of this epoch (for the journal):
+        # the last n_ins overlay entries by sequence number.
+        if n_ins:
+            newest = np.argsort(self._out.ins_seq, kind="stable")[-n_ins:]
+            ins_row = self._out.ins_row[newest]
+            ins_src = self._unmap[ins_row]
+            ins_dst = self._out.ins_gid[newest]
+        else:
+            ins_src = np.empty(0, dtype=np.int64)
+            ins_dst = np.empty(0, dtype=np.int64)
+        in_new_row, in_new_lid = self._in_new_entries()
+
+        totals = comm.allreduce(np.array(
+            [n_ins, n_del, n_miss, 1 if ghosts_changed else 0,
+             n_ins - n_del], dtype=np.int64), SUM)
+        ghosts_changed = bool(totals[3])
+        self._m_global += int(totals[4])
+
+        frac = max(self._out.overlay_fraction, self._in.overlay_fraction)
+        frac = float(comm.allreduce(float(frac), MAX))
+        compacted = frac >= self.compact_threshold
+        if compacted:
+            self._compact()
+        if ghosts_changed or compacted:
+            self.halo = HaloExchange(comm, self)
+
+        self.epoch += 1
+        self._view = None
+        self._journal.append(EpochRecord(
+            epoch=self.epoch,
+            out_rows=sorted_unique(out_rows),
+            in_rows=sorted_unique(in_rows),
+            ins_src_gid=ins_src, ins_dst_gid=ins_dst,
+            in_ins_row=in_new_row, in_ins_lid=in_new_lid,
+            n_inserted=int(totals[0]), n_deleted=int(totals[1]),
+            n_missing=int(totals[2]), ghosts_changed=ghosts_changed,
+            compacted=compacted))
+        return ApplyResult(
+            epoch=self.epoch, n_inserted=int(totals[0]),
+            n_deleted=int(totals[1]), n_missing=int(totals[2]),
+            ghosts_changed=ghosts_changed, compacted=compacted,
+            m_global=self._m_global)
+
+    def _in_new_entries(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row, source-lid) of in-overlay entries added by the last
+        integration — everything with seq >= the pre-batch counter."""
+        st = self._in
+        prev = getattr(self, "_in_seq_mark", 0)
+        new = st.ins_seq >= prev
+        self._in_seq_mark = st._seq
+        return st.ins_row[new].copy(), st.ins_lid[new].copy()
+
+    # ------------------------------------------------------------------
+    def view(self) -> DistGraph:
+        """Materialize the current graph as an immutable :class:`DistGraph`.
+
+        Cached per epoch; with empty overlays (epoch 0, or right after
+        compaction) the view shares the base arrays outright.
+        """
+        if self._view is not None and self._view_epoch == self.epoch:
+            return self._view
+        out_indptr, out_lids, _, out_vals = self._out.merged()
+        in_indptr, in_lids, _, in_vals = self._in.merged()
+        g = DistGraph(
+            rank=self.rank, nparts=self.nparts, n_global=self.n_global,
+            m_global=self._m_global, partition=self.partition,
+            out_indexes=out_indptr, out_edges=out_lids,
+            in_indexes=in_indptr, in_edges=in_lids,
+            unmap=self._unmap, ghost_tasks=self._ghost_tasks, map=self.map,
+            out_values=out_vals, in_values=in_vals)
+        self._view = g
+        self._view_epoch = self.epoch
+        return g
+
+    def _compact(self) -> None:
+        """Merge overlays into a fresh base CSR and GC unreferenced ghosts.
+
+        Purely local (the decision to compact was already allreduced);
+        owned local ids are preserved, ghost ids are re-assigned in
+        ascending gid order exactly like the from-scratch builder.
+        """
+        from ..graph.hashmap import IntHashMap
+
+        n_loc = self.n_loc
+        out_indptr, out_lids, out_gids, out_vals = self._out.merged()
+        in_indptr, in_lids, in_gids, in_vals = self._in.merged()
+
+        nbr_gids = np.concatenate((out_gids, in_gids))
+        if len(nbr_gids):
+            uniq = sorted_unique(nbr_gids)
+            ghost_gids = uniq[self.partition.owner_of(uniq) != self.rank]
+        else:
+            ghost_gids = np.empty(0, dtype=np.int64)
+        new_unmap = np.concatenate((self._unmap[:n_loc], ghost_gids))
+        remap = np.full(self.n_total, -1, dtype=np.int64)
+        remap[:n_loc] = np.arange(n_loc, dtype=np.int64)
+        old_ghost_lids = self.map.get(ghost_gids)
+        remap[old_ghost_lids] = n_loc + np.arange(
+            len(ghost_gids), dtype=np.int64)
+
+        gmap = IntHashMap(capacity_hint=len(new_unmap))
+        gmap.insert(new_unmap, np.arange(len(new_unmap), dtype=np.int64))
+        self.map = gmap
+        self._unmap = new_unmap
+        self._ghost_tasks = (self.partition.owner_of(ghost_gids)
+                             if len(ghost_gids)
+                             else np.empty(0, dtype=np.int64))
+        self._out = _DirState(out_indptr, remap[out_lids], out_gids,
+                              out_vals, self.n_global)
+        self._in = _DirState(in_indptr, remap[in_lids], in_gids,
+                             in_vals, self.n_global)
+        self._in_seq_mark = 0
+        self.structure_epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DynamicDistGraph(rank={self.rank}/{self.nparts}, "
+                f"epoch={self.epoch}, n_loc={self.n_loc}, "
+                f"n_gst={self.n_gst}, m_global={self._m_global}, "
+                f"overlay=({len(self._out.ins_row)}+{self._out.n_tomb}, "
+                f"{len(self._in.ins_row)}+{self._in.n_tomb}))")

@@ -65,7 +65,14 @@ def test_lint_paths_over_directory_covers_all_fixtures():
     findings = lint_paths([FIXTURES])
     files = {Path(f.path).name for f in findings}
     assert files == {"bad_spmd001.py", "bad_spmd002.py", "bad_spmd003.py",
-                     "bad_spmd004.py", "bad_spmd005.py", "suppressed.py"}
+                     "bad_spmd004.py", "bad_spmd005.py",
+                     "bad_spmd_stream_route.py", "suppressed.py"}
+
+
+def test_stream_route_fixture_fires_spmd002():
+    findings = unsuppressed(lint_file(FIXTURES / "bad_spmd_stream_route.py"))
+    assert [f.rule for f in findings] == ["SPMD002"]
+    assert "alltoallv" in findings[0].message
 
 
 # ---------------------------------------------------------------------------
