@@ -75,8 +75,19 @@ PYTHONPATH=src python benchmarks/bench_comm.py --smoke
 echo "== stream microbenchmark smoke (incremental analytics) =="
 PYTHONPATH=src python benchmarks/bench_stream.py --smoke
 
+echo "== backend microbenchmark smoke (threads vs procs ratios) =="
+PYTHONPATH=src python benchmarks/bench_backends.py --smoke
+
 echo "== pytest (tier 1, collective-schedule verifier on) =="
 PYTHONPATH=src python -m pytest -x -q "$@"
 
 echo "== pytest (buffer sanitizer on) =="
 REPRO_SANITIZE_BUFFERS=1 PYTHONPATH=src python -m pytest -x -q "$@"
+
+echo "== pytest smoke subset on the procs backend =="
+# Engines and explicit-backend tests run on spawned-process ranks; the
+# dist_run reference harness stays pinned to threads (ground truth).
+REPRO_BACKEND=procs PYTHONPATH=src python -m pytest -x -q \
+    tests/test_backends.py tests/test_backend_equivalence.py \
+    tests/test_service.py tests/test_stream_service.py \
+    tests/test_stream_equivalence.py::test_procs_backend_stream_bitwise

@@ -33,6 +33,21 @@ import numpy as np
 __all__ = ["main"]
 
 
+def _resolve_backend(name: str | None):
+    """Validate a backend selection (``--backend`` or ``$REPRO_BACKEND``).
+
+    Returns the resolved backend name, or ``None`` after printing an
+    actionable error (listing the backends that *are* available here).
+    """
+    from .runtime import SpmdLaunchError, get_backend
+
+    try:
+        return get_backend(name).name
+    except SpmdLaunchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
 # ---------------------------------------------------------------------------
 # subcommand: generate
 # ---------------------------------------------------------------------------
@@ -147,7 +162,9 @@ ANALYTIC_CHOICES = ("pagerank", "labelprop", "wcc", "scc", "harmonic",
                     "closeness", "betweenness")
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
+def _analyze_job(comm, cfg: dict):
+    """SPMD body of ``repro analyze`` (module-level: pickles by reference
+    onto process-backed ranks; ``cfg`` is a plain picklable dict)."""
     from .analytics import (
         HaloExchange,
         approx_kcore,
@@ -172,10 +189,101 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         RandomHashPartition,
         VertexBlockPartition,
     )
-    from .runtime import LAND, SUM, RankAborted, SpmdError, run_spmd
+    from .runtime import LAND, SUM
 
-    which = args.analytics or list(ANALYTIC_CHOICES)
+    which = cfg["which"]
+    n = cfg["n"]
+    iters = cfg["iters"]
+    path = Path(cfg["input"])
+    width = cfg["width"]
+    ckpt = Path(cfg["checkpoint"]) if cfg["checkpoint"] is not None else None
+    save = Path(cfg["save_checkpoint"]) \
+        if cfg["save_checkpoint"] is not None else None
+
+    # A complete checkpoint skips reconstruction (and, except for the
+    # data-dependent eblock partition, the edge read as well).
+    have = (ckpt is not None and
+            (ckpt / f"rank{comm.rank:05d}.npz").exists())
+    from_ckpt = comm.allreduce(have, LAND)
+    chunk = None
+    if cfg["partition"] == "eblock" or not from_ckpt:
+        chunk, _ = striped_read(comm, path, width=width)
+    if cfg["partition"] == "vblock":
+        part = VertexBlockPartition(n, comm.size)
+    elif cfg["partition"] == "eblock":
+        part = EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
+    else:
+        part = RandomHashPartition(n, comm.size, seed=7)
+    if from_ckpt:
+        g = load_graph(comm, ckpt, part)
+    else:
+        g = build_dist_graph(comm, chunk, part)
+        if save is not None:
+            save_graph(comm, g, save)
+    halo = HaloExchange(comm, g)
+    report: list[tuple[str, float, str]] = []
+
+    def run(name, fn):
+        comm.barrier()
+        t0 = time.perf_counter()
+        summary = fn()
+        comm.barrier()
+        report.append((name, time.perf_counter() - t0, summary))
+
+    hub = int(top_degree_vertices(comm, g, 1)[0]) if n else 0
+    if "pagerank" in which:
+        def _pr():
+            s = pagerank(comm, g, max_iters=iters, halo=halo)
+            total = comm.allreduce(float(s.scores.sum()), SUM)
+            return f"sum={total:.6f}"
+        run("pagerank", _pr)
+    if "labelprop" in which:
+        def _lp():
+            from .analysis import label_counts
+
+            r = label_propagation(comm, g, n_iters=iters, halo=halo)
+            keys, _ = label_counts(comm, r.labels)
+            return f"{len(keys)} communities"
+        run("labelprop", _lp)
+    if "wcc" in which:
+        def _wcc():
+            r = wcc(comm, g, halo=halo)
+            giant = comm.allreduce(
+                int((r.labels == r.giant_label).sum()), SUM)
+            return f"giant={giant}"
+        run("wcc", _wcc)
+    if "scc" in which:
+        run("scc", lambda: f"largest={largest_scc(comm, g, halo=halo).size}")
+    if "harmonic" in which:
+        run("harmonic",
+            lambda: f"hc({hub})={harmonic_centrality(comm, g, hub).score:.2f}")
+    if "kcore" in which:
+        run("kcore", lambda: f"stages={approx_kcore(comm, g, halo=halo).stages_run}")
+    if "sssp" in which:
+        run("sssp", lambda: f"reached={sssp(comm, g, hub, halo=halo).reached}")
+    if "triangles" in which:
+        run("triangles", lambda: f"total={triangle_count(comm, g, halo=halo).total}")
+    if "diameter" in which:
+        run("diameter",
+            lambda: f">= {estimate_diameter(comm, g).lower_bound}")
+    if "hits" in which:
+        run("hits", lambda: f"iters={hits(comm, g, max_iters=iters, halo=halo).n_iters}")
+    if "closeness" in which:
+        run("closeness",
+            lambda: f"cc({hub})={closeness_centrality(comm, g, hub).score:.4f}")
+    if "betweenness" in which:
+        run("betweenness",
+            lambda: f"sampled k=4, sources={betweenness_centrality(comm, g, k=min(4, max(1, n)), halo=halo).n_sources}")
+    return report, from_ckpt
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
     from .io import count_edges, read_edge_range
+    from .runtime import RankAborted, SpmdError, run_spmd
+
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
 
     # Determine n without loading everything twice.
     m = count_edges(args.input, width=args.width)
@@ -185,87 +293,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                                 width=args.width)
         n = max(n, int(chunk.max()) + 1 if len(chunk) else 0)
 
-    def job(comm):
-        # A complete checkpoint skips reconstruction (and, except for the
-        # data-dependent eblock partition, the edge read as well).
-        have = (args.checkpoint is not None and
-                (args.checkpoint / f"rank{comm.rank:05d}.npz").exists())
-        from_ckpt = comm.allreduce(have, LAND)
-        chunk = None
-        if args.partition == "eblock" or not from_ckpt:
-            chunk, _ = striped_read(comm, args.input, width=args.width)
-        if args.partition == "vblock":
-            part = VertexBlockPartition(n, comm.size)
-        elif args.partition == "eblock":
-            part = EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
-        else:
-            part = RandomHashPartition(n, comm.size, seed=7)
-        if from_ckpt:
-            g = load_graph(comm, args.checkpoint, part)
-        else:
-            g = build_dist_graph(comm, chunk, part)
-            if args.save_checkpoint is not None:
-                save_graph(comm, g, args.save_checkpoint)
-        halo = HaloExchange(comm, g)
-        report: list[tuple[str, float, str]] = []
-
-        def run(name, fn):
-            comm.barrier()
-            t0 = time.perf_counter()
-            summary = fn()
-            comm.barrier()
-            report.append((name, time.perf_counter() - t0, summary))
-
-        hub = int(top_degree_vertices(comm, g, 1)[0]) if n else 0
-        if "pagerank" in which:
-            def _pr():
-                s = pagerank(comm, g, max_iters=args.iters, halo=halo)
-                total = comm.allreduce(float(s.scores.sum()), SUM)
-                return f"sum={total:.6f}"
-            run("pagerank", _pr)
-        if "labelprop" in which:
-            def _lp():
-                from .analysis import label_counts
-
-                r = label_propagation(comm, g, n_iters=args.iters, halo=halo)
-                keys, _ = label_counts(comm, r.labels)
-                return f"{len(keys)} communities"
-            run("labelprop", _lp)
-        if "wcc" in which:
-            def _wcc():
-                r = wcc(comm, g, halo=halo)
-                giant = comm.allreduce(
-                    int((r.labels == r.giant_label).sum()), SUM)
-                return f"giant={giant}"
-            run("wcc", _wcc)
-        if "scc" in which:
-            run("scc", lambda: f"largest={largest_scc(comm, g, halo=halo).size}")
-        if "harmonic" in which:
-            run("harmonic",
-                lambda: f"hc({hub})={harmonic_centrality(comm, g, hub).score:.2f}")
-        if "kcore" in which:
-            run("kcore", lambda: f"stages={approx_kcore(comm, g, halo=halo).stages_run}")
-        if "sssp" in which:
-            run("sssp", lambda: f"reached={sssp(comm, g, hub, halo=halo).reached}")
-        if "triangles" in which:
-            run("triangles", lambda: f"total={triangle_count(comm, g, halo=halo).total}")
-        if "diameter" in which:
-            run("diameter",
-                lambda: f">= {estimate_diameter(comm, g).lower_bound}")
-        if "hits" in which:
-            run("hits", lambda: f"iters={hits(comm, g, max_iters=args.iters, halo=halo).n_iters}")
-        if "closeness" in which:
-            run("closeness",
-                lambda: f"cc({hub})={closeness_centrality(comm, g, hub).score:.4f}")
-        if "betweenness" in which:
-            run("betweenness",
-                lambda: f"sampled k=4, sources={betweenness_centrality(comm, g, k=min(4, max(1, n)), halo=halo).n_sources}")
-        return report, from_ckpt
-
+    cfg = {
+        "input": str(args.input), "width": args.width, "n": n,
+        "partition": args.partition, "iters": args.iters,
+        "which": args.analytics or list(ANALYTIC_CHOICES),
+        "checkpoint":
+            None if args.checkpoint is None else str(args.checkpoint),
+        "save_checkpoint":
+            None if args.save_checkpoint is None
+            else str(args.save_checkpoint),
+    }
     t0 = time.perf_counter()
     timeout = args.timeout if args.timeout > 0 else None
     try:
-        report, from_ckpt = run_spmd(args.ranks, job, timeout=timeout)[0]
+        report, from_ckpt = run_spmd(args.ranks, _analyze_job, cfg,
+                                     timeout=timeout, backend=backend)[0]
     except SpmdError as exc:
         only_aborts = all(isinstance(e, RankAborted)
                           for e in exc.failures.values())
@@ -362,6 +404,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import AdmissionError, AnalyticsEngine
 
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
     if args.queries is None:
         text = _DEFAULT_QUERIES
     elif str(args.queries) == "-":
@@ -384,10 +429,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint, save_checkpoint=args.save_checkpoint,
         max_pending=args.max_pending, batch_window=args.batch_window,
         cache_capacity=args.cache, default_timeout=args.timeout,
+        backend=backend,
     )
     build_s = time.perf_counter() - t0
     print(f"engine up: n={engine.n_global:,}, m={engine.m_global:,}, "
-          f"{args.ranks} ranks, {args.partition} partitioning, "
+          f"{args.ranks} ranks ({engine.backend}), "
+          f"{args.partition} partitioning, "
           f"graph {engine.built_from} in {build_s:.3f} s "
           f"[fingerprint {engine.fingerprint}]")
     try:
@@ -455,20 +502,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # subcommand: stream-apply
 # ---------------------------------------------------------------------------
-def _cmd_stream_apply(args: argparse.Namespace) -> int:
-    from .analytics import pagerank
+def _stream_apply_job(comm, cfg: dict):
+    """SPMD body of ``repro stream-apply`` (module-level for procs)."""
     from .graph import build_dist_graph
-    from .io import count_edges, read_edge_range, striped_read
+    from .io import striped_read
     from .partition import RandomHashPartition, VertexBlockPartition
-    from .runtime import run_spmd
     from .stream import (
         DynamicDistGraph,
         IncrementalPageRank,
         IncrementalWCC,
         UpdateBatch,
-        read_updates_text,
-        split_batch,
     )
+
+    n = cfg["n"]
+    chunk, _ = striped_read(comm, Path(cfg["input"]), width=cfg["width"])
+    if cfg["partition"] == "vblock":
+        part = VertexBlockPartition(n, comm.size)
+    else:
+        part = RandomHashPartition(n, comm.size, seed=7)
+    g = build_dist_graph(comm, chunk, part)
+    dyn = DynamicDistGraph(comm, g)
+    ipr = IncrementalPageRank(comm, dyn, max_iters=cfg["iters"])
+    iwcc = IncrementalWCC(comm, dyn)
+    log = []
+    for b in cfg["batches"]:
+        sl = np.array_split(np.arange(b.n), comm.size)[comm.rank]
+        my = UpdateBatch(b.src[sl], b.dst[sl], b.op[sl],
+                         b.values[sl] if b.values is not None else None)
+        comm.barrier()
+        t0 = time.perf_counter()
+        res = dyn.apply(my)
+        t_apply = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pr = ipr.run()
+        t_pr = time.perf_counter() - t0
+        w = iwcc.run()
+        log.append((res, t_apply, t_pr, pr.n_iters, w.mode))
+    return log, dict(ipr.stats)
+
+
+def _cmd_stream_apply(args: argparse.Namespace) -> int:
+    from .io import count_edges, read_edge_range
+    from .runtime import run_spmd
+    from .stream import read_updates_text, split_batch
+
+    backend = _resolve_backend(args.backend)
+    if backend is None:
+        return 2
 
     m = count_edges(args.input, width=args.width)
     n = 0
@@ -483,34 +563,15 @@ def _cmd_stream_apply(args: argparse.Namespace) -> int:
     batches = (split_batch(updates, args.batch_size)
                if args.batch_size else [updates])
 
-    def job(comm):
-        chunk, _ = striped_read(comm, args.input, width=args.width)
-        if args.partition == "vblock":
-            part = VertexBlockPartition(n, comm.size)
-        else:
-            part = RandomHashPartition(n, comm.size, seed=7)
-        g = build_dist_graph(comm, chunk, part)
-        dyn = DynamicDistGraph(comm, g)
-        ipr = IncrementalPageRank(comm, dyn, max_iters=args.iters)
-        iwcc = IncrementalWCC(comm, dyn)
-        log = []
-        for b in batches:
-            sl = np.array_split(np.arange(b.n), comm.size)[comm.rank]
-            my = UpdateBatch(b.src[sl], b.dst[sl], b.op[sl],
-                             b.values[sl] if b.values is not None else None)
-            comm.barrier()
-            t0 = time.perf_counter()
-            res = dyn.apply(my)
-            t_apply = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            pr = ipr.run()
-            t_pr = time.perf_counter() - t0
-            w = iwcc.run()
-            log.append((res, t_apply, t_pr, pr.n_iters, w.mode))
-        return log, dict(ipr.stats)
-
+    cfg = {
+        "input": str(args.input), "width": args.width, "n": n,
+        "partition": args.partition, "iters": args.iters,
+        "batches": batches,
+    }
     t0 = time.perf_counter()
-    log, pr_stats = run_spmd(args.ranks, job, timeout=args.timeout or None)[0]
+    log, pr_stats = run_spmd(args.ranks, _stream_apply_job, cfg,
+                             timeout=args.timeout or None,
+                             backend=backend)[0]
     wall = time.perf_counter() - t0
     print(f"{args.input}: n={n:,}, m={m:,}, {args.ranks} ranks; "
           f"{updates.n} updates in {len(batches)} batch(es)")
@@ -569,6 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_backend(sp: argparse.ArgumentParser) -> None:
+        # Validated by get_backend (not argparse choices) so the error
+        # message can list what is actually available on this host.
+        sp.add_argument("--backend", type=str, default=None,
+                        metavar="{threads,procs,mpi}",
+                        help="rank runtime backend (default: $REPRO_BACKEND "
+                             "when set, else threads)")
+
     g = sub.add_parser("generate", help="synthesize a graph to a binary file")
     g.add_argument("kind", choices=list(dataset_names()) +
                    ["rmat-raw", "er-raw", "web-raw"])
@@ -618,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "when present (skips reconstruction)")
     a.add_argument("--save-checkpoint", type=Path, default=None,
                    help="write the freshly built graph to this directory")
+    add_backend(a)
     a.set_defaults(fn=_cmd_analyze)
 
     s = sub.add_parser(
@@ -651,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--status-json", action="store_true",
                    help="dump the final engine status as JSON")
     s.add_argument("--width", type=int, default=32, choices=(32, 64))
+    add_backend(s)
     s.set_defaults(fn=_cmd_serve)
 
     t = sub.add_parser(
@@ -671,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--timeout", type=float, default=120.0,
                    help="per-collective-wait timeout seconds (0 disables)")
     t.add_argument("--width", type=int, default=32, choices=(32, 64))
+    add_backend(t)
     t.set_defaults(fn=_cmd_stream_apply)
 
     k = sub.add_parser(

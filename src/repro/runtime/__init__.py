@@ -20,6 +20,12 @@ Example
 [6, 6, 6, 6]
 """
 
+from .backends import (
+    BACKEND_ENV,
+    available_backends,
+    backend_names,
+    get_backend,
+)
 from .comm import AlltoallvPlan, VERIFY_ENV, Communicator, World, verify_from_env
 from .errors import (
     BufferRaceError,
@@ -28,6 +34,7 @@ from .errors import (
     RankAborted,
     SlotRaceError,
     SpmdError,
+    SpmdLaunchError,
 )
 from .launcher import run_spmd, spmd_traces
 from .sanitize import SANITIZE_ENV, GuardedBuffer, sanitize_from_env
@@ -67,6 +74,11 @@ __all__ = [
     "MAXLOC",
     "MINLOC",
     "SpmdError",
+    "SpmdLaunchError",
+    "BACKEND_ENV",
+    "get_backend",
+    "available_backends",
+    "backend_names",
     "RankAborted",
     "CommUsageError",
     "CollectiveMismatchError",

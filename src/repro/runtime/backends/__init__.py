@@ -1,0 +1,88 @@
+"""Rank-runtime backends behind the Communicator API.
+
+Selection order: an explicit ``backend=`` argument (``run_spmd``,
+``AnalyticsEngine``, ``--backend`` on the CLI), else the
+``REPRO_BACKEND`` environment variable, else ``threads``.
+
+See :mod:`.base` for the contract, and DESIGN.md §12 for the semantics
+each backend guarantees (bitwise-equivalent collectives, verifier and
+sanitizer behavior, buffer lifecycle).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import SpmdLaunchError
+from .base import (
+    Backend,
+    FnSpec,
+    PICKLE_HINT,
+    Session,
+    SessionRun,
+    find_unpicklable,
+    resolve_fn_spec,
+)
+from .mpi import MpiBackend
+from .procs import ProcsBackend
+from .threads import ThreadsBackend
+
+__all__ = [
+    "BACKEND_ENV",
+    "Backend",
+    "FnSpec",
+    "PICKLE_HINT",
+    "Session",
+    "SessionRun",
+    "available_backends",
+    "backend_names",
+    "find_unpicklable",
+    "get_backend",
+    "resolve_fn_spec",
+]
+
+#: Environment variable naming the default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+_REGISTRY: dict[str, Backend] = {
+    b.name: b for b in (ThreadsBackend(), ProcsBackend(), MpiBackend())
+}
+
+
+def backend_names() -> list[str]:
+    """All registered backend names (available or not)."""
+    return list(_REGISTRY)
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that can run on this host/launch."""
+    return [name for name, b in _REGISTRY.items() if b.available()]
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """Resolve a backend: explicit name, else ``$REPRO_BACKEND``, else threads.
+
+    Raises
+    ------
+    SpmdLaunchError
+        For an unknown or unavailable backend, listing what *is*
+        available so the error is actionable from the CLI.
+    """
+    source = "requested"
+    if name is None:
+        name = os.environ.get(BACKEND_ENV, "").strip() or None
+        source = f"${BACKEND_ENV}"
+    if name is None:
+        name = "threads"
+    name = name.strip().lower()
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise SpmdLaunchError(
+            f"unknown runtime backend {name!r} ({source}); available "
+            f"backends: {', '.join(available_backends())}")
+    if not backend.available():
+        raise SpmdLaunchError(
+            f"runtime backend {name!r} is not available here: "
+            f"{backend.unavailable_reason()}; available backends: "
+            f"{', '.join(available_backends())}")
+    return backend

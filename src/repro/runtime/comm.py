@@ -155,6 +155,7 @@ class World:
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
+        self.backend = "threads"
         self.timeout = timeout
         self.verify = verify_from_env() if verify is None else bool(verify)
         self.sanitize = (sanitize_from_env() if sanitize is None
@@ -194,6 +195,15 @@ class Communicator:
         # Approximate hop count of a binomial-tree collective, for the
         # alpha (latency) term of the performance model.
         self._tree_msgs = max(1, math.ceil(math.log2(max(2, self.size))))
+
+    #: Plan type constructed by :meth:`alltoallv_plan`; backend
+    #: communicators substitute their own (e.g. shared-memory plans).
+    _plan_class: type["AlltoallvPlan"]
+
+    @property
+    def backend(self) -> str:
+        """Name of the runtime backend executing this world."""
+        return getattr(self._world, "backend", "threads")
 
     # ------------------------------------------------------------------
     # internals
@@ -642,6 +652,47 @@ class Communicator:
         return self._run("alltoallv", send, combine, bytes_sent, nmsg,
                          sig=("dtype", str(dt)))
 
+    def _flat_normalize(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts: np.ndarray,
+        sdispls: np.ndarray | None,
+        recvcounts: np.ndarray | None,
+        plan: "AlltoallvPlan | None",
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """Validate/normalize the MPI-style flat-exchange argument triple.
+
+        Shared by every backend's ``alltoallv_flat``; with a plan the
+        validation was done once at construction and is skipped here.
+        """
+        size = self.size
+        if plan is None:
+            sendbuf = np.ascontiguousarray(sendbuf)
+            sendcounts = np.ascontiguousarray(sendcounts, dtype=np.int64)
+            if sendcounts.shape != (size,):
+                raise CommUsageError(
+                    f"alltoallv_flat needs exactly {size} send counts, "
+                    f"got shape {sendcounts.shape}")
+            if len(sendcounts) and sendcounts.min() < 0:
+                raise CommUsageError("negative send count")
+            if sdispls is None:
+                sdispls = np.concatenate(
+                    ([0], np.cumsum(sendcounts[:-1]))).astype(np.int64)
+            else:
+                sdispls = np.ascontiguousarray(sdispls, dtype=np.int64)
+                if sdispls.shape != (size,):
+                    raise CommUsageError(
+                        f"alltoallv_flat needs exactly {size} send "
+                        f"displacements, got shape {sdispls.shape}")
+            if size and int((sdispls + sendcounts).max(initial=0)) > len(sendbuf):
+                raise CommUsageError(
+                    "send counts/displacements overrun the send buffer")
+            if recvcounts is not None:
+                recvcounts = np.ascontiguousarray(recvcounts, dtype=np.int64)
+        elif sdispls is None:
+            sdispls = plan.sdispls
+        return sendbuf, sendcounts, sdispls, recvcounts
+
     def alltoallv_flat(
         self,
         sendbuf: np.ndarray,
@@ -678,31 +729,8 @@ class Communicator:
         Returns ``(data, counts)`` exactly like :meth:`alltoallv`.
         """
         size = self.size
-        if _plan is None:
-            sendbuf = np.ascontiguousarray(sendbuf)
-            sendcounts = np.ascontiguousarray(sendcounts, dtype=np.int64)
-            if sendcounts.shape != (size,):
-                raise CommUsageError(
-                    f"alltoallv_flat needs exactly {size} send counts, "
-                    f"got shape {sendcounts.shape}")
-            if len(sendcounts) and sendcounts.min() < 0:
-                raise CommUsageError("negative send count")
-            if sdispls is None:
-                sdispls = np.concatenate(
-                    ([0], np.cumsum(sendcounts[:-1]))).astype(np.int64)
-            else:
-                sdispls = np.ascontiguousarray(sdispls, dtype=np.int64)
-                if sdispls.shape != (size,):
-                    raise CommUsageError(
-                        f"alltoallv_flat needs exactly {size} send "
-                        f"displacements, got shape {sdispls.shape}")
-            if size and int((sdispls + sendcounts).max(initial=0)) > len(sendbuf):
-                raise CommUsageError(
-                    "send counts/displacements overrun the send buffer")
-            if recvcounts is not None:
-                recvcounts = np.ascontiguousarray(recvcounts, dtype=np.int64)
-        elif sdispls is None:
-            sdispls = _plan.sdispls
+        sendbuf, sendcounts, sdispls, recvcounts = self._flat_normalize(
+            sendbuf, sendcounts, sdispls, recvcounts, _plan)
         dt = sendbuf.dtype
         tail = sendbuf.shape[1:]
         row_nbytes = int(dt.itemsize * np.prod(tail, dtype=np.int64)) \
@@ -786,8 +814,8 @@ class Communicator:
                 raise CommUsageError("negative recv count")
         plan_id = self._n_plans
         self._n_plans += 1
-        return AlltoallvPlan(self, sendcounts, recvcounts, dtype, tail,
-                             plan_id, name)
+        return self._plan_class(self, sendcounts, recvcounts, dtype, tail,
+                                plan_id, name)
 
     # ------------------------------------------------------------------
     # sub-communicators
@@ -892,10 +920,24 @@ class AlltoallvPlan:
         self.tail = tuple(int(t) for t in tail)
         self.plan_id = plan_id
         self.name = name
-        self._send_store = np.zeros((0,) + self.tail, dtype=self.dtype)
-        self._recv_store = np.empty((0,) + self.tail, dtype=self.dtype)
+        self._send_store = self._new_store(0, "send")
+        self._recv_store = self._new_store(0, "recv")
         self._validated_external: np.ndarray | None = None
         self._set_counts(sendcounts, recvcounts)
+
+    def _new_store(self, cap: int, kind: str) -> np.ndarray:
+        """Allocate a backing store of ``cap`` rows.
+
+        The seam backend plans override: the process backend places the
+        ``"send"`` store in a shared-memory segment peers scatter from
+        directly, keeping steady-state executes zero-copy.  Send stores
+        are zeroed (rows between a shrink and the next refit stay
+        defined); receive stores are scratch.
+        """
+        shape = (cap,) + self.tail
+        if kind == "send":
+            return np.zeros(shape, dtype=self.dtype)
+        return np.empty(shape, dtype=self.dtype)
 
     def _set_counts(self, sendcounts: np.ndarray,
                     recvcounts: np.ndarray) -> None:
@@ -915,10 +957,10 @@ class AlltoallvPlan:
         self.n_recv = int(recvcounts.sum())
         if len(self._send_store) < self.n_send:
             cap = max(self.n_send, 2 * len(self._send_store))
-            self._send_store = np.zeros((cap,) + self.tail, dtype=self.dtype)
+            self._send_store = self._new_store(cap, "send")
         if len(self._recv_store) < self.n_recv:
             cap = max(self.n_recv, 2 * len(self._recv_store))
-            self._recv_store = np.empty((cap,) + self.tail, dtype=self.dtype)
+            self._recv_store = self._new_store(cap, "recv")
         self.sendbuf = self._send_store[:self.n_send]
         self.recvbuf = self._recv_store[:self.n_recv]
         self._validated_external = None
@@ -1009,3 +1051,6 @@ class AlltoallvPlan:
         return (f"AlltoallvPlan(#{self.plan_id}{label}, "
                 f"send={self.n_send}, recv={self.n_recv}, "
                 f"dtype={self.dtype}, tail={self.tail})")
+
+
+Communicator._plan_class = AlltoallvPlan

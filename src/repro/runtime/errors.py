@@ -12,6 +12,7 @@ from typing import Any
 
 __all__ = [
     "SpmdError",
+    "SpmdLaunchError",
     "RankAborted",
     "CommUsageError",
     "CollectiveMismatchError",
@@ -39,6 +40,25 @@ class SpmdError(RuntimeError):
             f"SPMD execution failed on rank(s) {ranks}: "
             f"{type(first).__name__}: {first}"
         )
+
+    # Rank failures cross process boundaries on the procs backend; the
+    # default Exception reduce would replay __init__ with the formatted
+    # message instead of the failures dict.
+    def __reduce__(self):
+        return (SpmdError, (self.failures,))
+
+
+class SpmdLaunchError(RuntimeError):
+    """A world could not be launched on the requested runtime backend.
+
+    Raised *before* any rank runs: for an unknown or unavailable
+    ``backend=`` selection, or — on the process backend — when the kernel
+    function or one of its arguments cannot be pickled for shipment to the
+    spawned rank processes.  The message names the offending object, so
+    the fix (move the function to module level, pass data instead of
+    closures) is actionable instead of a raw ``PicklingError`` surfacing
+    from a worker.
+    """
 
 
 class RankAborted(RuntimeError):
@@ -99,6 +119,9 @@ class CollectiveMismatchError(RuntimeError):
             f"{format_signature(mine)} but rank(s) {divergers} diverged "
             f"(rank {min(self.peers)} called {format_signature(first)})"
         )
+
+    def __reduce__(self):
+        return (CollectiveMismatchError, (self.rank, self.mine, self.peers))
 
 
 class SlotRaceError(RuntimeError):
@@ -161,3 +184,8 @@ class BufferRaceError(RuntimeError):
         """Clone this diagnosis as seen from another rank."""
         return BufferRaceError(self.writing_rank, self.op, self.call_index,
                                self.window, self.publisher_rank, rank)
+
+    def __reduce__(self):
+        return (BufferRaceError,
+                (self.writing_rank, self.op, self.call_index, self.window,
+                 self.publisher_rank, self.detected_by))

@@ -1,11 +1,16 @@
-"""Launching SPMD functions across a world of thread-ranks.
+"""Launching SPMD functions across a world of ranks.
 
 :func:`run_spmd` is the top-level entry point of the runtime: it plays the
 role of ``mpiexec -n <p>``.  The target function receives a
 :class:`~repro.runtime.comm.Communicator` as its first argument and runs
 once per rank; the per-rank return values come back as a list.
 
-Failure semantics: if any rank raises, the world barrier is aborted so the
+What a *rank* is — an OS thread, a spawned process with shared-memory
+buffers, or a real MPI task — is decided by the ``backend`` argument
+(default: the ``REPRO_BACKEND`` environment variable, else threads); see
+:mod:`repro.runtime.backends`.
+
+Failure semantics: if any rank raises, the world is aborted so the
 remaining ranks unblock with ``RankAborted`` at their next collective; the
 launcher raises :class:`~repro.runtime.errors.SpmdError` carrying the
 original exception(s).
@@ -13,16 +18,12 @@ original exception(s).
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
-from .comm import Communicator, World
+from .backends import get_backend
 from .errors import RankAborted, SpmdError
 
 __all__ = ["run_spmd", "spmd_traces"]
-
-# Stack-size large enough for deep NumPy/scipy call chains on worker threads.
-_STACK_SIZE = 16 * 1024 * 1024
 
 _last_traces: list | None = None
 
@@ -35,6 +36,7 @@ def run_spmd(
     collect_traces: bool = True,
     verify: bool | None = None,
     sanitize: bool | None = None,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
@@ -42,11 +44,13 @@ def run_spmd(
     Parameters
     ----------
     nranks:
-        World size.  Each rank is an OS thread; NumPy kernels release the
-        GIL so ranks overlap on multicore hosts.
+        World size.
     fn:
         SPMD function.  Must follow BSP discipline: every rank issues the
-        same sequence of collectives.
+        same sequence of collectives.  On process-backed runtimes it is
+        shipped by pickle, so it must be a module-level function (a
+        closure raises :class:`~repro.runtime.errors.SpmdLaunchError`
+        naming it).
     timeout:
         Per-collective-wait timeout in seconds; converts accidental
         deadlocks into errors.  ``None`` disables.
@@ -66,6 +70,9 @@ def run_spmd(
         :class:`~repro.runtime.errors.BufferRaceError` on every rank).
         ``None`` (default) defers to the ``REPRO_SANITIZE_BUFFERS``
         environment variable.
+    backend:
+        Rank runtime: ``"threads"``, ``"procs"``, or ``"mpi"``.  ``None``
+        (default) defers to ``REPRO_BACKEND``, else threads.
 
     Returns
     -------
@@ -76,53 +83,22 @@ def run_spmd(
     ------
     SpmdError
         If any rank raised.  The first real failure is the ``__cause__``.
+    SpmdLaunchError
+        If the backend selection is invalid or the launch payload cannot
+        be shipped to it.
     """
     global _last_traces
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
-
-    world = World(nranks, timeout=timeout, verify=verify, sanitize=sanitize)
-    comms = [Communicator(world, r) for r in range(nranks)]
-    results: list[Any] = [None] * nranks
-    failures: dict[int, BaseException] = {}
-    failures_lock = threading.Lock()
-
-    if nranks == 1:
-        # Fast path: run inline (no thread spawn), same semantics.
-        try:
-            results[0] = fn(comms[0], *args, **kwargs)
-        except Exception as exc:
-            raise SpmdError({0: exc}) from exc
-        _last_traces = [c.trace for c in comms] if collect_traces else None
-        return results
-
-    def worker(rank: int) -> None:
-        try:
-            results[rank] = fn(comms[rank], *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - must capture everything
-            with failures_lock:
-                failures[rank] = exc
-            world.abort(f"rank {rank} failed: {type(exc).__name__}: {exc}")
-
-    old_stack = threading.stack_size()
-    try:
-        threading.stack_size(_STACK_SIZE)
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
-            for r in range(nranks)
-        ]
-    finally:
-        threading.stack_size(old_stack)
-
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    _last_traces = [c.trace for c in comms] if collect_traces else None
+    runtime = get_backend(backend)
+    results, traces, failures = runtime.run_spmd(
+        nranks, fn, args, kwargs, timeout=timeout,
+        collect_traces=collect_traces, verify=verify, sanitize=sanitize)
+    _last_traces = traces
 
     if failures:
-        primary = {r: e for r, e in failures.items() if not isinstance(e, RankAborted)}
+        primary = {r: e for r, e in failures.items()
+                   if not isinstance(e, RankAborted)}
         if not primary:
             primary = failures
         err = SpmdError(primary)

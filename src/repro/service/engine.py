@@ -3,27 +3,32 @@
 The paper's headline cost asymmetry (§III-A) is that graph *construction*
 — ingest, ``alltoallv`` redistribution, CSR conversion, ghost relabeling —
 dominates end-to-end time, yet ``run_spmd``-per-query pays it on every
-call.  :class:`AnalyticsEngine` inverts that: it spins up ``nranks``
-worker threads **once**, each of which builds (or checkpoint-loads) its
-:class:`~repro.graph.DistGraph` shard **once** and then parks on a
-per-rank command queue.  Every subsequent query is dispatched to the
-already-resident shards, so its cost is the analytic alone.
+call.  :class:`AnalyticsEngine` inverts that: it starts a persistent rank
+**session** once (worker threads on the default backend, spawned worker
+processes under ``backend="procs"`` — see :mod:`repro.runtime.backends`),
+each rank builds (or checkpoint-loads) its :class:`~repro.graph.DistGraph`
+shard **once** into its resident per-rank state, and every subsequent
+query is dispatched to the already-resident shards, so its cost is the
+analytic alone.
 
-Failure isolation is the key serving property: worker threads and graph
-shards are long-lived, but *collectives* run over a *per-job*
-:class:`~repro.runtime.comm.World`.  When a rank raises mid-job, it
-aborts that job's barrier; peer ranks unblock with ``RankAborted`` at
-their next collective, every rank reports back to the driver, and the
-workers return to their queues with shards intact — the abortable-barrier
-machinery recovers the world without rebuilding anything.  (A
-``threading.Barrier`` abort is permanent, so reusing one world across
-jobs would let a single bad query poison every later one.)
+Because a process-backed rank cannot receive a closure, jobs ship as *fn
+specs* — ``(module, factory, payload)`` with a module-level factory and a
+picklable payload — which the session resolves on the worker side.  The
+factories in this module are exactly those specs.
+
+Failure isolation is the key serving property: workers and graph shards
+are long-lived, but *collectives* run over a *per-job* world.  When a
+rank raises mid-job, it aborts that job's world; peer ranks unblock with
+``RankAborted`` at their next collective, every rank reports back to the
+driver, and the workers return to their command queues with shards
+intact.  (An aborted world is permanently poisoned, which is why each job
+gets a fresh one.)
 
 Query flow::
 
     submit() ── cache hit? ──> finish immediately
         └─ no ─> JobScheduler (admission control + batching window)
-                     └─> dispatcher thread ─> per-rank command queues
+                     └─> dispatcher thread ─> backend session
                              └─> batched/single analytic over the shards
                                      └─> result split per job, cached
 
@@ -35,7 +40,6 @@ multi-source run (see :mod:`repro.analytics.batched`).
 from __future__ import annotations
 
 import hashlib
-import queue
 import threading
 import time
 import zlib
@@ -60,7 +64,8 @@ from ..partition import (
     RandomHashPartition,
     VertexBlockPartition,
 )
-from ..runtime import LAND, Communicator, RankAborted, World
+from ..runtime import LAND, Communicator, RankAborted
+from ..runtime.backends import get_backend
 from .cache import ResultCache, cache_key
 from .scheduler import AdmissionError, Job, JobScheduler
 
@@ -87,31 +92,6 @@ class JobTimeoutError(JobFailedError):
 
 
 # ---------------------------------------------------------------------------
-# per-rank completion tracking for one dispatched command
-# ---------------------------------------------------------------------------
-class _RankReport:
-    """Collects per-rank results/errors; fires when every rank reported."""
-
-    def __init__(self, nranks: int):
-        self.results: list[Any] = [None] * nranks
-        self.errors: dict[int, BaseException] = {}
-        self._remaining = nranks
-        self._lock = threading.Lock()
-        self.all_done = threading.Event()
-
-    def report(self, rank: int, result: Any = None,
-               error: BaseException | None = None) -> None:
-        with self._lock:
-            if error is not None:
-                self.errors[rank] = error
-            else:
-                self.results[rank] = result
-            self._remaining -= 1
-            if self._remaining == 0:
-                self.all_done.set()
-
-
-# ---------------------------------------------------------------------------
 # analytic registry
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -119,7 +99,11 @@ class _KindSpec:
     """How the engine runs, batches, and caches one analytic kind."""
 
     name: str
-    make_fn: Callable[["AnalyticsEngine", list[Job]], Callable]
+    # Module-level factory (in this module) resolved worker-side:
+    # ``factory(payload) -> fn(comm, state)``.
+    factory: str
+    # Build the picklable payload shipped to the factory from one batch.
+    payload: Callable[[list[Job]], Any]
     # Split rank-0's payload into one result per job (index-aligned).
     split: Callable[[list[Job], Any], list[Any]]
     # Params (beyond the per-job source) that must match for coalescing;
@@ -144,9 +128,7 @@ def _assemble_by_gid(comm: Communicator, g, local_values: np.ndarray,
     return out
 
 
-def _pagerank_fn(engine: "AnalyticsEngine", jobs: list[Job]):
-    p = jobs[0].params
-
+def _make_pagerank(p: dict):
     def fn(comm, state):
         g = state["graph"]
         halo = HaloExchange(comm, g)
@@ -162,7 +144,7 @@ def _pagerank_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     return fn
 
 
-def _wcc_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+def _make_wcc(_p):
     def fn(comm, state):
         g = state["graph"]
         res = wcc(comm, g, halo=HaloExchange(comm, g))
@@ -177,7 +159,7 @@ def _wcc_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     return fn
 
 
-def _triangles_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+def _make_triangles(_p):
     def fn(comm, state):
         g = state["graph"]
         res = triangle_count(comm, g, halo=HaloExchange(comm, g))
@@ -189,9 +171,9 @@ def _triangles_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     return fn
 
 
-def _bfs_fn(engine: "AnalyticsEngine", jobs: list[Job]):
-    sources = np.array([j.params["source"] for j in jobs], dtype=np.int64)
-    direction = jobs[0].params.get("direction", "out")
+def _make_bfs(p: dict):
+    sources = np.asarray(p["sources"], dtype=np.int64)
+    direction = p["direction"]
 
     def fn(comm, state):
         g = state["graph"]
@@ -214,8 +196,8 @@ def _bfs_split(jobs: list[Job], payload: np.ndarray) -> list[Any]:
     return out
 
 
-def _closeness_fn(engine: "AnalyticsEngine", jobs: list[Job]):
-    vertices = np.array([j.params["vertex"] for j in jobs], dtype=np.int64)
+def _make_closeness(p: dict):
+    vertices = np.asarray(p["vertices"], dtype=np.int64)
 
     def fn(comm, state):
         g = state["graph"]
@@ -235,9 +217,8 @@ def _closeness_split(jobs: list[Job], payload: list) -> list[Any]:
             for r in payload]
 
 
-def _ppr_fn(engine: "AnalyticsEngine", jobs: list[Job]):
-    seeds = np.array([j.params["seed"] for j in jobs], dtype=np.int64)
-    p = jobs[0].params
+def _make_ppr(p: dict):
+    seeds = np.asarray(p["seeds"], dtype=np.int64)
 
     def fn(comm, state):
         g = state["graph"]
@@ -262,7 +243,7 @@ def _ppr_split(jobs: list[Job], payload: dict) -> list[Any]:
             for j, job in enumerate(jobs)]
 
 
-def _stream_apply_fn(engine: "AnalyticsEngine", jobs: list[Job]):
+def _make_stream_apply(p: dict):
     """Apply one edge-update batch to the resident graph (collective).
 
     The first applied batch promotes the resident shards to a
@@ -271,7 +252,6 @@ def _stream_apply_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     (:meth:`~repro.stream.DynamicDistGraph.view`), so every query kind
     keeps serving unchanged while updates stream in between jobs.
     """
-    p = jobs[0].params
 
     def fn(comm, state):
         from ..stream import DynamicDistGraph, UpdateBatch
@@ -312,8 +292,8 @@ def _stream_apply_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     return fn
 
 
-def _debug_fail_fn(engine: "AnalyticsEngine", jobs: list[Job]):
-    fail_rank = int(jobs[0].params.get("fail_rank", 0))
+def _make_debug_fail(p: dict):
+    fail_rank = int(p.get("fail_rank", 0))
 
     def fn(comm, state):
         comm.barrier()
@@ -327,8 +307,8 @@ def _debug_fail_fn(engine: "AnalyticsEngine", jobs: list[Job]):
     return fn
 
 
-def _debug_sleep_fn(engine: "AnalyticsEngine", jobs: list[Job]):
-    seconds = float(jobs[0].params.get("seconds", 1.0))
+def _make_debug_sleep(p: dict):
+    seconds = float(p.get("seconds", 1.0))
 
     def fn(comm, state):
         # Sleep in barrier-punctuated slices so a timeout abort lands fast.
@@ -344,29 +324,118 @@ def _single_split(jobs: list[Job], payload: Any) -> list[Any]:
     return [payload]
 
 
+def _first_params(jobs: list[Job]) -> dict:
+    return dict(jobs[0].params)
+
+
 _KINDS: dict[str, _KindSpec] = {
-    "pagerank": _KindSpec("pagerank", _pagerank_fn, _single_split),
-    "wcc": _KindSpec("wcc", _wcc_fn, _single_split),
-    "triangles": _KindSpec("triangles", _triangles_fn, _single_split),
-    "bfs": _KindSpec("bfs", _bfs_fn, _bfs_split,
-                     batch_params=("direction",)),
-    "closeness": _KindSpec("closeness", _closeness_fn, _closeness_split,
-                           batch_params=()),
-    "ppr": _KindSpec("ppr", _ppr_fn, _ppr_split,
-                     batch_params=("damping", "max_iters", "tol")),
+    "pagerank": _KindSpec("pagerank", "_make_pagerank", _first_params,
+                          _single_split),
+    "wcc": _KindSpec("wcc", "_make_wcc", lambda jobs: None, _single_split),
+    "triangles": _KindSpec("triangles", "_make_triangles", lambda jobs: None,
+                           _single_split),
+    "bfs": _KindSpec(
+        "bfs", "_make_bfs",
+        lambda jobs: {
+            "sources": [int(j.params["source"]) for j in jobs],
+            "direction": jobs[0].params.get("direction", "out")},
+        _bfs_split, batch_params=("direction",)),
+    "closeness": _KindSpec(
+        "closeness", "_make_closeness",
+        lambda jobs: {"vertices": [int(j.params["vertex"]) for j in jobs]},
+        _closeness_split, batch_params=()),
+    "ppr": _KindSpec(
+        "ppr", "_make_ppr",
+        lambda jobs: {"seeds": [int(j.params["seed"]) for j in jobs],
+                      **{k: jobs[0].params[k] for k in
+                         ("damping", "max_iters", "tol")
+                         if k in jobs[0].params}},
+        _ppr_split, batch_params=("damping", "max_iters", "tol")),
     # Streaming mutation (serialized with queries by the dispatcher; not
     # a served analytic, hence the underscore).
-    "_stream_apply": _KindSpec("_stream_apply", _stream_apply_fn,
-                               _single_split, cacheable=False),
+    "_stream_apply": _KindSpec("_stream_apply", "_make_stream_apply",
+                               _first_params, _single_split,
+                               cacheable=False),
     # Test/ops hooks: deliberately failing and slow jobs.
-    "_debug_fail": _KindSpec("_debug_fail", _debug_fail_fn, _single_split,
-                             cacheable=False),
-    "_debug_sleep": _KindSpec("_debug_sleep", _debug_sleep_fn, _single_split,
-                              cacheable=False),
+    "_debug_fail": _KindSpec("_debug_fail", "_make_debug_fail",
+                             _first_params, _single_split, cacheable=False),
+    "_debug_sleep": _KindSpec("_debug_sleep", "_make_debug_sleep",
+                              _first_params, _single_split, cacheable=False),
 }
 
 #: Publicly served analytic kinds (debug hooks excluded).
 SERVING_KINDS = tuple(k for k in _KINDS if not k.startswith("_"))
+
+
+# ---------------------------------------------------------------------------
+# graph construction (worker-side)
+# ---------------------------------------------------------------------------
+def _make_build(cfg: dict):
+    """Build (or checkpoint-load) the resident shard into rank state."""
+    edges = cfg["edges"]
+    n = cfg["n"]
+    path = cfg["path"]
+    width = cfg["width"]
+    kind = cfg["kind"]
+    seed = cfg["seed"]
+    ckpt = Path(cfg["checkpoint"]) if cfg["checkpoint"] is not None else None
+    save = Path(cfg["save_checkpoint"]) \
+        if cfg["save_checkpoint"] is not None else None
+
+    def build(comm: Communicator, state: dict):
+        with comm.region("engine.build"):
+            if edges is not None:
+                chunk = np.array_split(edges, comm.size)[comm.rank]
+                n_glob = n
+            else:
+                from ..io import count_edges, read_edge_range, striped_read
+
+                m = count_edges(path, width=width)
+                n_glob = 0
+                for lo in range(0, m, 1 << 20):
+                    c = read_edge_range(path, lo, min(1 << 20, m - lo),
+                                        width=width)
+                    n_glob = max(n_glob,
+                                 int(c.max()) + 1 if len(c) else 0)
+                chunk, _ = striped_read(comm, path, width=width)
+            if kind == "vblock":
+                part = VertexBlockPartition(n_glob, comm.size)
+            elif kind == "eblock":
+                part = EdgeBlockPartition.from_edge_chunks(
+                    comm, chunk[:, 0], n_glob)
+            else:
+                part = RandomHashPartition(n_glob, comm.size, seed=seed)
+
+            loaded = False
+            if ckpt is not None:
+                from ..io.checkpoint import load_graph
+
+                have = (ckpt / f"rank{comm.rank:05d}.npz").exists()
+                if comm.allreduce(have, LAND):
+                    g = load_graph(comm, ckpt, part)
+                    loaded = True
+            if not loaded:
+                g = build_dist_graph(comm, chunk, part)
+                if save is not None:
+                    from ..io.checkpoint import save_graph
+
+                    save_graph(comm, g, save)
+            state["graph"] = g
+
+            # Content fingerprint: per-rank CRCs of the local structure,
+            # gathered and hashed on rank 0 (keys every cache entry).
+            crc = zlib.crc32(g.out_edges.tobytes())
+            crc = zlib.crc32(g.unmap.tobytes(), crc)
+            crcs = comm.gather(crc, root=0)
+            if comm.rank:
+                return None
+            h = hashlib.sha1(
+                f"{g.n_global}:{g.m_global}:{kind}:{comm.size}:"
+                f"{crcs}".encode()).hexdigest()[:16]
+            return (g.n_global, g.m_global, h,
+                    "checkpoint" if loaded else "build")
+
+    return build
 
 
 # ---------------------------------------------------------------------------
@@ -378,7 +447,7 @@ class AnalyticsEngine:
     Parameters
     ----------
     nranks:
-        SPMD world size (persistent worker threads).
+        SPMD world size (persistent workers).
     edges, n:
         In-memory edge list ``(m, 2)`` and vertex count; each rank builds
         from a contiguous slice.  Mutually exclusive with ``path``.
@@ -407,6 +476,11 @@ class AnalyticsEngine:
         collective payloads become read-only and cross-rank writes raise
         :class:`~repro.runtime.BufferRaceError` instead of corrupting a
         peer's query mid-flight.
+    backend:
+        Rank runtime for the persistent session: ``"threads"`` (default)
+        or ``"procs"`` (spawned worker processes holding their shards in
+        private memory — real parallelism for pure-Python phases).
+        ``None`` defers to ``REPRO_BACKEND``.
     """
 
     def __init__(
@@ -429,6 +503,7 @@ class AnalyticsEngine:
         build_timeout: float | None = 300.0,
         verify: bool | None = None,
         sanitize: bool | None = None,
+        backend: str | None = None,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -470,23 +545,23 @@ class AnalyticsEngine:
             "comm_s": 0.0,
         }
 
-        # Persistent rank world: one command queue + thread per rank.
-        self._cmd_queues: list[queue.Queue] = [queue.Queue()
-                                               for _ in range(nranks)]
-        self._states: list[dict] = [{} for _ in range(nranks)]
-        self._workers = [
-            threading.Thread(target=self._worker_loop, args=(r,),
-                             name=f"engine-rank-{r}", daemon=True)
-            for r in range(nranks)
-        ]
-        for t in self._workers:
-            t.start()
+        # Persistent rank session on the selected runtime backend.
+        runtime = get_backend(backend)
+        self.backend = runtime.name
+        self._session = runtime.start_session(nranks, verify=verify,
+                                              sanitize=sanitize)
 
         # Build (or load) the resident graph exactly once.
-        build = self._make_build_fn(
-            edges=edges, n=n, path=path, width=width, seed=seed,
-            checkpoint=checkpoint, save_checkpoint=save_checkpoint)
-        results, errors = self._run_collective(build, build_timeout)
+        cfg = {
+            "edges": edges, "n": n,
+            "path": None if path is None else str(path), "width": width,
+            "kind": partition, "seed": seed,
+            "checkpoint": None if checkpoint is None else str(checkpoint),
+            "save_checkpoint":
+                None if save_checkpoint is None else str(save_checkpoint),
+        }
+        results, errors = self._run_collective("_make_build", cfg,
+                                               build_timeout)
         if errors:
             self.shutdown()
             raise JobFailedError("graph construction failed") \
@@ -507,117 +582,22 @@ class AnalyticsEngine:
         self._dispatcher.start()
 
     # ------------------------------------------------------------------
-    # construction
+    # dispatch plumbing
     # ------------------------------------------------------------------
-    def _make_build_fn(self, *, edges, n, path, width, seed,
-                       checkpoint, save_checkpoint):
-        kind = self.partition_kind
-        ckpt = Path(checkpoint) if checkpoint is not None else None
-        save = Path(save_checkpoint) if save_checkpoint is not None else None
-
-        def build(comm: Communicator, state: dict):
-            with comm.region("engine.build"):
-                if edges is not None:
-                    chunk = np.array_split(edges, comm.size)[comm.rank]
-                    n_glob = n
-                else:
-                    from ..io import count_edges, read_edge_range, striped_read
-
-                    m = count_edges(path, width=width)
-                    n_glob = 0
-                    for lo in range(0, m, 1 << 20):
-                        c = read_edge_range(path, lo, min(1 << 20, m - lo),
-                                            width=width)
-                        n_glob = max(n_glob,
-                                     int(c.max()) + 1 if len(c) else 0)
-                    chunk, _ = striped_read(comm, path, width=width)
-                if kind == "vblock":
-                    part = VertexBlockPartition(n_glob, comm.size)
-                elif kind == "eblock":
-                    part = EdgeBlockPartition.from_edge_chunks(
-                        comm, chunk[:, 0], n_glob)
-                else:
-                    part = RandomHashPartition(n_glob, comm.size, seed=seed)
-
-                loaded = False
-                if ckpt is not None:
-                    from ..io.checkpoint import load_graph
-
-                    have = (ckpt / f"rank{comm.rank:05d}.npz").exists()
-                    if comm.allreduce(have, LAND):
-                        g = load_graph(comm, ckpt, part)
-                        loaded = True
-                if not loaded:
-                    g = build_dist_graph(comm, chunk, part)
-                    if save is not None:
-                        from ..io.checkpoint import save_graph
-
-                        save_graph(comm, g, save)
-                state["graph"] = g
-
-                # Content fingerprint: per-rank CRCs of the local structure,
-                # gathered and hashed on rank 0 (keys every cache entry).
-                crc = zlib.crc32(g.out_edges.tobytes())
-                crc = zlib.crc32(g.unmap.tobytes(), crc)
-                crcs = comm.gather(crc, root=0)
-                if comm.rank:
-                    return None
-                h = hashlib.sha1(
-                    f"{g.n_global}:{g.m_global}:{kind}:{comm.size}:"
-                    f"{crcs}".encode()).hexdigest()[:16]
-                return (g.n_global, g.m_global, h,
-                        "checkpoint" if loaded else "build")
-
-        return build
-
-    # ------------------------------------------------------------------
-    # worker / dispatch plumbing
-    # ------------------------------------------------------------------
-    def _worker_loop(self, rank: int) -> None:
-        q = self._cmd_queues[rank]
-        state = self._states[rank]
-        while True:
-            cmd = q.get()
-            if cmd is None:
-                # Not a divergent exit: shutdown() enqueues the None
-                # sentinel on every rank's queue, so all workers leave
-                # together after draining identical schedules.
-                return  # spmdlint: disable=SPMD002
-            comm, fn, report = cmd
-            try:
-                result = fn(comm, state)
-            except BaseException as exc:  # noqa: BLE001 - isolate the job
-                comm.abort(f"rank {rank} failed: "
-                           f"{type(exc).__name__}: {exc}")
-                report.report(rank, error=exc)
-            else:
-                report.report(rank, result=result)
-
-    def _run_collective(self, fn, timeout: float | None
+    def _run_collective(self, factory: str, payload: Any,
+                        timeout: float | None
                         ) -> tuple[list[Any], dict[int, BaseException]]:
-        """Run ``fn(comm, state)`` once per rank over a fresh world."""
-        world = World(self.nranks, timeout=timeout, verify=self.verify,
-                      sanitize=self.sanitize)
-        comms = [Communicator(world, r) for r in range(self.nranks)]
-        report = _RankReport(self.nranks)
-        for r in range(self.nranks):
-            self._cmd_queues[r].put((comms[r], fn, report))
-        timed_out = False
-        if not report.all_done.wait(timeout):
-            timed_out = True
-            world.abort("job timeout (driver)")
-            # Ranks unblock at their next collective; analytics synchronize
-            # every iteration/level, so this wait is short.
-            report.all_done.wait()
-        for c in comms:
-            s = c.trace.summary()
-            for key in self._comm_totals:
-                self._comm_totals[key] += s[key]
-        errors = dict(report.errors)
-        if timed_out:
+        """Run one fn spec once per rank over the persistent session."""
+        run = self._session.run((__name__, factory, payload), timeout)
+        for s in run.summaries:
+            if s:
+                for key in self._comm_totals:
+                    self._comm_totals[key] += s[key]
+        errors = dict(run.errors)
+        if run.timed_out:
             errors[-1] = JobTimeoutError(
                 f"job exceeded its {timeout}s timeout")
-        return report.results, errors
+        return run.results, errors
 
     def _dispatch_loop(self) -> None:
         while not self._closed:
@@ -664,8 +644,8 @@ class AnalyticsEngine:
                 self._counters["max_batch_size"], len(batch))
             if len(batch) > 1:
                 self._counters["batched_jobs"] += len(batch)
-        fn = spec.make_fn(self, batch)
-        results, errors = self._run_collective(fn, timeout)
+        results, errors = self._run_collective(
+            spec.factory, spec.payload(batch), timeout)
         if errors:
             cause = errors.get(-1) or _first_error(errors)
             with self._lock:
@@ -847,6 +827,7 @@ class AnalyticsEngine:
             stream = dict(self._stream)
         return {
             "nranks": self.nranks,
+            "backend": self.backend,
             "n_global": self.n_global,
             "m_global": self.m_global,
             "partition": self.partition_kind,
@@ -863,7 +844,7 @@ class AnalyticsEngine:
         }
 
     def shutdown(self) -> None:
-        """Drain the queue, fail pending jobs, and join the workers."""
+        """Drain the queue, fail pending jobs, and stop the session."""
         if self._closed:
             return
         self._closed = True
@@ -872,10 +853,7 @@ class AnalyticsEngine:
             job.finish(error=EngineClosedError("engine shut down"))
         if hasattr(self, "_dispatcher"):
             self._dispatcher.join(timeout=10.0)
-        for q in self._cmd_queues:
-            q.put(None)
-        for t in self._workers:
-            t.join(timeout=10.0)
+        self._session.close()
 
     def __enter__(self) -> "AnalyticsEngine":
         return self

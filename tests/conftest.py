@@ -41,6 +41,11 @@ def dist_run(edges: np.ndarray, n: int, nranks: int, fn, part_kind: str = "vbloc
     Each rank receives a contiguous slice of the edge list, builds the
     distributed graph under the requested partitioning, and calls ``fn``.
     Returns the list of per-rank results.
+
+    Pinned to the threads backend: ``fn`` is a per-test closure, which
+    process-backed ranks cannot receive, and this helper is the ground
+    truth the cross-backend tests compare *against* (so it must not
+    follow ``REPRO_BACKEND``).
     """
 
     def job(comm):
@@ -49,7 +54,7 @@ def dist_run(edges: np.ndarray, n: int, nranks: int, fn, part_kind: str = "vbloc
         g = build_dist_graph(comm, chunk, part)
         return fn(comm, g)
 
-    return run_spmd(nranks, job)
+    return run_spmd(nranks, job, backend="threads")
 
 
 def gather_by_gid(outs, value_index: int = 1):

@@ -1,0 +1,212 @@
+"""Module-level SPMD kernels shared by the backend tests.
+
+Process-backed ranks receive their function by pickle-by-reference, so
+everything a spawned rank runs must live at module level in an importable
+module — that is this file.  The kernels mirror the closures the
+threads-only tests use inline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics import HaloExchange, distributed_bfs_dirop, pagerank, wcc
+from repro.graph import build_dist_graph
+from repro.partition import (
+    EdgeBlockPartition,
+    RandomHashPartition,
+    VertexBlockPartition,
+)
+from repro.runtime import MAX, SUM, AlltoallvPlan
+
+
+def build_graph(comm, cfg: dict):
+    """Build the shared test graph from a picklable cfg dict.
+
+    cfg: ``{"edges": (m, 2) int64 array, "n": int, "part": kind}`` with
+    the same partition constructions (and the rand seed) as
+    ``conftest.make_partition``.
+    """
+    edges = cfg["edges"]
+    n = cfg["n"]
+    chunk = np.array_split(edges, comm.size)[comm.rank]
+    kind = cfg.get("part", "vblock")
+    if kind == "vblock":
+        part = VertexBlockPartition(n, comm.size)
+    elif kind == "eblock":
+        part = EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
+    elif kind == "rand":
+        part = RandomHashPartition(n, comm.size, seed=42)
+    else:
+        raise ValueError(kind)
+    return build_dist_graph(comm, chunk, part)
+
+
+def kern_pagerank(comm, cfg):
+    g = build_graph(comm, cfg)
+    res = pagerank(comm, g, max_iters=cfg.get("iters", 15), tol=1e-12,
+                   halo=HaloExchange(comm, g))
+    return g.unmap[: g.n_loc].copy(), res.scores, res.n_iters
+
+
+def kern_wcc(comm, cfg):
+    g = build_graph(comm, cfg)
+    res = wcc(comm, g, halo=HaloExchange(comm, g))
+    return g.unmap[: g.n_loc].copy(), res.labels, int(res.giant_label)
+
+
+def kern_bfs_dirop(comm, cfg):
+    g = build_graph(comm, cfg)
+    levels = distributed_bfs_dirop(comm, g, cfg["root"],
+                                   halo=HaloExchange(comm, g))
+    return g.unmap[: g.n_loc].copy(), levels
+
+
+def kern_collectives(comm, seed):
+    """Mixed collective smoke: scalar, object, and flat-buffer paths."""
+    rng = np.random.default_rng(seed + comm.rank)
+    out = {}
+    out["allreduce"] = comm.allreduce(comm.rank + 1, SUM)
+    out["allreduce_max"] = comm.allreduce(
+        float(rng.integers(0, 100)), MAX)
+    out["allgather"] = comm.allgather(("rank", comm.rank))
+    out["bcast"] = comm.bcast({"v": 42} if comm.rank == 0 else None, root=0)
+    out["alltoall"] = comm.alltoall(
+        [(comm.rank, d) for d in range(comm.size)])
+    counts = [(comm.rank + d) % 3 + 1 for d in range(comm.size)]
+    out["alltoallv"] = comm.alltoallv(
+        [list(range(c)) for c in counts])
+    got = comm.gatherv(np.arange(comm.rank + 2, dtype=np.int64), root=0)
+    out["gatherv"] = (None if comm.rank
+                      else (got[0].copy(), [int(c) for c in got[1]]))
+    return out
+
+
+def kern_plan(comm, rounds):
+    """Persistent alltoallv plan: growth, refit, and reuse."""
+    history = []
+    plan = None
+    for r in range(1, rounds + 1):
+        sendcounts = [((comm.rank + d + r) % 4) for d in range(comm.size)]
+        chunks = [np.full(c, comm.rank * 100 + d, dtype=np.int64)
+                  for d, c in enumerate(sendcounts)]
+        flat = (np.concatenate(chunks) if any(sendcounts)
+                else np.empty(0, dtype=np.int64))
+        if plan is None:
+            plan = comm.alltoallv_plan(sendcounts, dtype=np.int64)
+        else:
+            plan.refit(sendcounts)
+        recv = plan.execute(flat)
+        history.append((recv.copy(), [int(c) for c in plan.recvcounts]))
+    return history
+
+
+def kern_split(comm, _arg):
+    color = comm.rank % 2
+    sub = comm.split(color, key=comm.rank)
+    tot = sub.allreduce(comm.rank, SUM)
+    sub2 = comm.split(0 if comm.rank == 0 else None)
+    lonely = sub2.size if sub2 is not None else -1
+    return (color, sub.rank, sub.size, tot, lonely)
+
+
+def kern_sendrecv(comm, _arg):
+    if comm.size == 1:
+        return "solo"
+    peer = (comm.rank + 1) % comm.size
+    src = (comm.rank - 1) % comm.size
+    comm.send(np.arange(comm.rank + 1), dest=peer, tag=7)
+    got = comm.recv(source=src, tag=7)
+    return got.sum()
+
+
+def kern_fail(comm, fail_rank):
+    comm.barrier()
+    if comm.rank == fail_rank:
+        # Deliberate divergence: this kernel tests abort propagation.
+        raise ValueError(f"boom from rank {comm.rank}")  # spmdlint: disable=SPMD002
+    comm.barrier()
+    return "survived"
+
+
+def kern_diverge(comm, _arg):
+    # Rank 1 issues a different collective: the verifier must catch it.
+    if comm.rank == 1:
+        return comm.allgather(comm.rank)  # spmdlint: disable=SPMD001
+    return comm.allreduce(comm.rank, SUM)  # spmdlint: disable=SPMD001
+
+
+def kern_race(comm, _arg):
+    # Write into a peer's borrowed (copy=False) payload: the sanitizer
+    # must raise BufferRaceError instead of corrupting the peer's buffer.
+    objs = comm.allgather(np.arange(4), copy=False)
+    objs[(comm.rank + 1) % comm.size][0] = 99
+    comm.barrier()
+    return 0
+
+
+def kern_return_unpicklable(comm, _arg):
+    if comm.rank == 0:
+        return lambda: None  # a closure: not picklable
+    return None
+
+
+def kern_stream_equiv(comm, cfg):
+    """Incremental-vs-rebuild bitwise check, procs-shippable.
+
+    Module-level mirror of the job inside
+    ``test_stream_equivalence.run_equivalence``: apply each update epoch
+    to a DynamicDistGraph and compare the incremental PageRank/WCC
+    against static kernels on a from-scratch rebuild of the post-epoch
+    edge list.  Returns one bool per epoch (all comparisons bitwise).
+    """
+    from repro.stream import (
+        DynamicDistGraph,
+        IncrementalPageRank,
+        IncrementalWCC,
+        UpdateBatch,
+    )
+
+    n = cfg["n"]
+    chunk = np.array_split(cfg["edges"], comm.size)[comm.rank]
+    part = VertexBlockPartition(n, comm.size)
+    g = build_dist_graph(comm, chunk, part)
+    dyn = DynamicDistGraph(comm, g,
+                           compact_threshold=cfg.get("compact", 0.3))
+    ipr = IncrementalPageRank(comm, dyn, max_iters=12, tol=1e-10)
+    iwcc = IncrementalWCC(comm, dyn)
+    ok = []
+    for e, ops in enumerate(cfg["epochs"]):
+        my = np.array_split(ops, comm.size)[comm.rank]
+        dyn.apply(UpdateBatch(my[:, 0], my[:, 1], my[:, 2]))
+        rchunk = np.array_split(cfg["state_edges"][e], comm.size)[comm.rank]
+        rg = build_dist_graph(comm, rchunk, part).sort_adjacency()
+        s_pr = pagerank(comm, rg, max_iters=12, tol=1e-10)
+        i_pr = ipr.run()
+        s_w = wcc(comm, rg)
+        i_w = iwcc.run()
+        ok.append(bool(np.array_equal(s_pr.scores, i_pr.scores)
+                       and s_pr.n_iters == i_pr.n_iters
+                       and np.array_equal(s_w.labels, i_w.labels)))
+    return ok
+
+
+def make_counter(payload):
+    """Session factory: counts calls in resident per-rank state."""
+    step = payload["step"]
+
+    def fn(comm, state):
+        state["calls"] = state.get("calls", 0) + step
+        return comm.allgather(state["calls"])
+
+    return fn
+
+
+def make_failer(payload):
+    def fn(comm, state):
+        if comm.rank == payload["rank"]:
+            raise RuntimeError("session job boom")  # spmdlint: disable=SPMD002
+        comm.barrier()
+        return state.get("calls", 0)
+
+    return fn

@@ -1,0 +1,84 @@
+"""Cross-backend equivalence: threads vs procs, bitwise.
+
+The backend contract (DESIGN.md §12): a kernel's per-rank results are a
+pure function of the collective schedule, so running the same kernel on
+the threads runtime and on the spawned-process runtime must produce
+**bitwise identical** outputs — same scores, same iteration counts, same
+dtypes — at every rank count and partition kind.  All runs have the
+collective-schedule verifier (conftest default) and the buffer sanitizer
+enabled, which is the acceptance configuration for the procs backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import spmd_kernels as K
+from repro.generators import rmat_edges
+from repro.runtime import run_spmd
+
+N = 128
+
+
+@pytest.fixture(scope="module")
+def graph_edges():
+    return rmat_edges(7, edge_factor=4.0, seed=5)  # n=128, skewed degrees
+
+
+def _run(kernel, cfg, nranks, backend):
+    outs = run_spmd(nranks, kernel, cfg, backend=backend, timeout=180.0,
+                    sanitize=True)
+    gids = np.concatenate([np.asarray(o[0]) for o in outs])
+    vals = np.concatenate([np.asarray(o[1]) for o in outs])
+    order = np.argsort(gids)
+    return vals[order], tuple(o[2:] for o in outs)
+
+
+def _assert_bitwise(kernel, cfg, nranks):
+    ref_vals, ref_extra = _run(kernel, cfg, nranks, "threads")
+    got_vals, got_extra = _run(kernel, cfg, nranks, "procs")
+    assert got_vals.dtype == ref_vals.dtype
+    assert np.array_equal(got_vals, ref_vals)
+    assert repr(got_extra) == repr(ref_extra)
+    return ref_vals
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_pagerank_bitwise_across_ranks(graph_edges, nranks):
+    cfg = {"edges": graph_edges, "n": N, "part": "vblock", "iters": 15}
+    scores = _assert_bitwise(K.kern_pagerank, cfg, nranks)
+    assert abs(scores.sum() - 1.0) < 1e-9
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_wcc_bitwise_across_ranks(graph_edges, nranks):
+    cfg = {"edges": graph_edges, "n": N, "part": "vblock"}
+    labels = _assert_bitwise(K.kern_wcc, cfg, nranks)
+    assert len(np.unique(labels)) >= 1
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_bfs_dirop_bitwise_across_ranks(graph_edges, nranks):
+    hub = int(np.bincount(graph_edges[:, 0], minlength=N).argmax())
+    cfg = {"edges": graph_edges, "n": N, "part": "vblock", "root": hub}
+    levels = _assert_bitwise(K.kern_bfs_dirop, cfg, nranks)
+    assert (levels >= 0).sum() > 1  # the root reached something
+
+@pytest.mark.parametrize("part", ["eblock", "rand"])
+@pytest.mark.parametrize("kernel", [K.kern_pagerank, K.kern_wcc,
+                                    K.kern_bfs_dirop],
+                         ids=["pagerank", "wcc", "bfs"])
+def test_bitwise_across_partition_kinds(graph_edges, kernel, part):
+    cfg = {"edges": graph_edges, "n": N, "part": part, "iters": 12,
+           "root": 0}
+    _assert_bitwise(kernel, cfg, 2)
+
+
+def test_mixed_collectives_bitwise(graph_edges):
+    for nranks in (2, 4):
+        t = run_spmd(nranks, K.kern_collectives, 7, timeout=120.0,
+                     sanitize=True)
+        p = run_spmd(nranks, K.kern_collectives, 7, backend="procs",
+                     timeout=120.0, sanitize=True)
+        assert repr(t) == repr(p)

@@ -176,6 +176,23 @@ def test_insert_only_stream_stays_incremental():
     assert wcc_stats["full_runs"] <= 1
 
 
+def test_procs_backend_stream_bitwise():
+    """The incremental-vs-rebuild contract holds on spawned-process ranks
+    too (same kernel, shipped by reference; sanitizer on)."""
+    from spmd_kernels import kern_stream_equiv
+
+    n = 96
+    edges = rmat_edges(6, seed=2, m=480)
+    epochs, states = make_schedule(edges, n, n_epochs=3, n_ops=24, seed=21)
+    cfg = {"edges": edges, "n": n, "epochs": epochs, "state_edges": states,
+           "compact": 0.15}
+    t = run_spmd(2, kern_stream_equiv, cfg, timeout=300.0, sanitize=True)
+    p = run_spmd(2, kern_stream_equiv, cfg, backend="procs", timeout=300.0,
+                 sanitize=True)
+    assert t == p
+    assert all(all(o) for o in p)
+
+
 def test_weighted_stream_view_matches_rebuild(tiny_multi):
     """Weighted inserts materialize bitwise-identical weighted views.
 
