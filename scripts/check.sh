@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Repository health check: lint (when ruff is available), the spmdlint SPMD
-# correctness pass (schedule + buffer-ownership rules, each with its
-# seeded-violation fixture corpus), the runtime race fixtures, the comm
-# microbenchmark smoke guard (fails on >2x speedup regression vs the
-# recorded baseline), and the tier-1 suite twice (verifier on; then buffer
-# sanitizer on as well).
+# correctness passes (shallow strict + whole-program --deep strict against
+# the checked-in baseline), the seeded-violation fixture corpora (run as
+# the parametrized pytest module tests/test_check_corpus.py), the runtime
+# race fixtures, the comm microbenchmark smoke guard (fails on >2x speedup
+# regression vs the recorded baseline), and the tier-1 suite twice
+# (verifier on; then buffer sanitizer on as well).
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
@@ -34,35 +35,12 @@ fi
 echo "== spmdlint (strict) =="
 PYTHONPATH=src python -m repro check src/repro --strict
 
-echo "== spmdlint fixture corpus =="
-for fixture in tests/fixtures/spmdlint/bad_spmd*.py; do
-    if PYTHONPATH=src python -m repro check "$fixture" --strict >/dev/null; then
-        echo "FAIL: seeded violation not detected in $fixture" >&2
-        exit 1
-    fi
-    echo "ok: $fixture fires"
-done
-if ! PYTHONPATH=src python -m repro check tests/fixtures/spmdlint/clean.py \
-        --strict >/dev/null; then
-    echo "FAIL: false positive on tests/fixtures/spmdlint/clean.py" >&2
-    exit 1
-fi
-echo "ok: clean.py passes"
+echo "== spmdlint whole-program (--deep, strict, baselined) =="
+PYTHONPATH=src python -m repro check src/repro --deep --strict \
+    --baseline .spmdlint-baseline.json --cache .spmdlint-cache.json
 
-echo "== racecheck fixture corpus (buffer-ownership rules) =="
-for fixture in tests/fixtures/racecheck/bad_spmd*.py; do
-    if PYTHONPATH=src python -m repro check "$fixture" --strict >/dev/null; then
-        echo "FAIL: seeded violation not detected in $fixture" >&2
-        exit 1
-    fi
-    echo "ok: $fixture fires"
-done
-if ! PYTHONPATH=src python -m repro check tests/fixtures/racecheck/clean.py \
-        --strict >/dev/null; then
-    echo "FAIL: false positive on tests/fixtures/racecheck/clean.py" >&2
-    exit 1
-fi
-echo "ok: clean.py passes"
+echo "== spmdlint fixture corpora (pytest, parametrized) =="
+PYTHONPATH=src python -m pytest -x -q tests/test_check_corpus.py
 
 echo "== runtime race fixtures (sanitizer end-to-end) =="
 for script in tests/fixtures/racecheck/race_*.py; do

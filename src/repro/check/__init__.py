@@ -1,14 +1,21 @@
-"""Static SPMD correctness analysis ("spmdlint" + "racecheck").
+"""Static SPMD correctness analysis ("spmdlint", "racecheck", "deep").
 
-Two invariants of the runtime are enforced statically by this package,
-walking Python sources with :mod:`ast` before any code runs:
+The runtime's invariants are enforced statically by this package, walking
+Python sources with :mod:`ast` before any code runs:
 
 * **schedule** — every rank of a world calls the same sequence of
   collectives with compatible arguments (:mod:`.spmdlint`, SPMD001–005;
   the dynamic companion is ``REPRO_VERIFY_COLLECTIVES=1``);
 * **ownership** — payloads borrowed from copy=False collectives are never
   mutated or leaked to shared locations (:mod:`.racecheck`, SPMD006–008;
-  the dynamic companion is ``REPRO_SANITIZE_BUFFERS=1``).
+  the dynamic companion is ``REPRO_SANITIZE_BUFFERS=1``);
+* **whole-program schedule** — the same schedule rules across call
+  boundaries, via a module-level call graph and per-function summaries
+  (:mod:`.deep`, SPMD009–011, behind ``repro check --deep``);
+* **backend portability** — no closures, lambdas, or unpicklable values
+  flow into ``run_spmd``/``AnalyticsEngine`` launches (:mod:`.picklecheck`,
+  SPMD012; the dynamic companion is the launch-time
+  ``find_unpicklable`` diagnostic in :mod:`repro.runtime.backends.base`).
 
 Rules (each suppressible with ``# spmdlint: disable=SPMDxxx``):
 
@@ -28,16 +35,35 @@ SPMD007   buffer mutated after being published to a copy=False collective
           (peer ranks may still be reading it)
 SPMD008   borrowed collective payload stored to a shared location
           (global/attribute/caller-visible container) without an owning copy
+SPMD009   collective (transitively, via helper calls) reachable only under
+          rank-dependent control flow [--deep]
+SPMD010   rank-dependent value passed into a parameter the callee uses to
+          gate or size a collective [--deep]
+SPMD011   conflicting transitive collective sequences on two paths to the
+          same join point [--deep]
+SPMD012   closure/lambda/unpicklable value flows into an SPMD launch
+          (fails at spawn on the procs/mpi backends)
 ========  ==================================================================
 
-Use :func:`lint_paths` / :func:`lint_source` programmatically, or the CLI::
+Use :func:`lint_paths` / :func:`deep_lint_paths` programmatically, or the
+CLI::
 
-    python -m repro check src/repro --strict --format json
+    python -m repro check src/repro --deep --strict --format sarif
 """
 
+from .deep import (
+    apply_baseline,
+    baseline_key,
+    deep_lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from .picklecheck import PORTABILITY_RULES
 from .racecheck import OWNERSHIP_RULES
 from .spmdlint import (
+    DEEP_RULES,
     RULE_DOCS,
+    RULE_FIXES,
     RULES,
     SCHEDULE_RULES,
     Finding,
@@ -48,5 +74,8 @@ from .spmdlint import (
 )
 
 __all__ = ["Finding", "RULES", "SCHEDULE_RULES", "OWNERSHIP_RULES",
-           "RULE_DOCS", "lint_source", "lint_file", "lint_paths",
-           "suppression_hint"]
+           "DEEP_RULES", "PORTABILITY_RULES",
+           "RULE_DOCS", "RULE_FIXES", "lint_source", "lint_file",
+           "lint_paths", "deep_lint_paths",
+           "load_baseline", "write_baseline", "apply_baseline",
+           "baseline_key", "suppression_hint"]

@@ -1,18 +1,45 @@
 """Shared AST primitives for the static SPMD passes.
 
-Both analyzers — the collective-*schedule* linter (:mod:`.spmdlint`,
-SPMD001–005) and the buffer-*ownership* linter (:mod:`.racecheck`,
-SPMD006–008) — recognize collective call sites the same way and report
+All four analyzers — the collective-*schedule* linter (:mod:`.spmdlint`,
+SPMD001–005), the buffer-*ownership* linter (:mod:`.racecheck`,
+SPMD006–008), the whole-program *deep* pass (:mod:`.deep`, SPMD009–011
+plus interprocedural SPMD001–005), and the backend-*portability* pass
+(:mod:`.picklecheck`, SPMD012) — recognize collective call sites the same
+way, classify expressions over the same replication lattice, and report
 through the same :class:`Finding` record, so those pieces live here.
+
+The replication lattice
+-----------------------
+Every expression is classified into a three-level lattice:
+
+``REPLICATED``
+    provably identical on all ranks under the codebase's conventions:
+    constants, function arguments (``run_spmd`` passes the same arguments
+    to every rank), module-level names, and the results of uniform-result
+    collectives (``allreduce``, ``bcast``, ``allgather``, ``allgatherv``);
+``RANK_LOCAL``
+    potentially different per rank: results of per-rank collectives
+    (``alltoallv``, ``gather``, ``scan``, …) and anything derived;
+``RANK_DEPENDENT``
+    explicitly keyed on the rank id (``comm.rank`` or any ``.rank``
+    attribute) and anything derived from it.
+
+:func:`_classify` computes the level of one expression under an
+:class:`_Env` (name → level); :func:`_infer_env` runs the fixpoint over a
+function body so taint flows through assignment chains.  An ``_Env`` may
+carry a ``call_level`` hook: the deep pass uses it to classify calls to
+*known* functions from their interprocedural summaries, while the shallow
+pass falls back to the conservative max-over-arguments join.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Sequence
 
-__all__ = ["Finding", "COLLECTIVES"]
+__all__ = ["Finding", "COLLECTIVES", "UNIFORM_RESULT",
+           "REPLICATED", "RANK_LOCAL", "RANK_DEPENDENT"]
 
 #: Collective method names recognized on a communicator receiver.
 COLLECTIVES = frozenset({
@@ -21,6 +48,13 @@ COLLECTIVES = frozenset({
     "reduce_scatter", "alltoallv", "alltoallv_flat", "alltoallv_plan",
     "split",
 })
+
+#: Collectives whose result is identical on every rank.
+UNIFORM_RESULT = frozenset(
+    {"allreduce", "bcast", "allgather", "allgatherv", "barrier"})
+
+# Expression replication lattice (monotone: larger = less replicated).
+REPLICATED, RANK_LOCAL, RANK_DEPENDENT = 0, 1, 2
 
 
 @dataclass
@@ -34,9 +68,11 @@ class Finding:
     col: int
     function: str = "<module>"
     suppressed: bool = False
+    baselined: bool = False
 
     def format(self) -> str:
-        tag = " (suppressed)" if self.suppressed else ""
+        tag = (" (suppressed)" if self.suppressed
+               else " (baselined)" if self.baselined else "")
         return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
                 f"[{self.function}] {self.message}{tag}")
 
@@ -49,9 +85,19 @@ def _final_identifier(node: ast.expr) -> str | None:
     return None
 
 
+def _is_comm_name(name: str) -> bool:
+    """Word-boundary communicator-name test.
+
+    ``comm``, ``sub_comm``, ``comm_world``, ``mpi_comm`` are communicators;
+    ``common``, ``community``, ``recommend`` are not.  An identifier counts
+    only when one of its ``_``-separated segments is exactly ``comm``.
+    """
+    return any(seg == "comm" for seg in name.lower().split("_"))
+
+
 def _is_comm_expr(node: ast.expr) -> bool:
     ident = _final_identifier(node)
-    return ident is not None and "comm" in ident.lower()
+    return ident is not None and _is_comm_name(ident)
 
 
 def _collective_op(call: ast.Call) -> str | None:
@@ -76,6 +122,17 @@ def _target_names(target: ast.AST) -> list[str]:
     return []  # subscript/attribute stores do not (re)bind a name
 
 
+def _fn_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Every parameter name of a function, in declaration order."""
+    args = fn.args
+    params = [a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
 _SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
                    ast.Lambda)
 
@@ -89,3 +146,134 @@ def _walk_in_scope(node: ast.AST) -> Iterable[ast.AST]:
             continue
         yield child
         stack.extend(ast.iter_child_nodes(child))
+
+
+# ---------------------------------------------------------------------------
+# replication classification
+# ---------------------------------------------------------------------------
+class _Env:
+    """Name -> lattice level for one function scope (default: replicated).
+
+    ``call_level`` is an optional hook ``(call, env) -> level | None`` used
+    by the deep pass to classify calls to functions with known summaries;
+    ``None`` falls back to the shallow max-over-subexpressions join.
+    """
+
+    def __init__(self, params: Sequence[str],
+                 call_level: Callable[[ast.Call, "_Env"], int | None]
+                 | None = None):
+        self.levels: dict[str, int] = {}
+        self.call_level = call_level
+        for p in params:
+            # A parameter literally named "rank" carries the rank id.
+            self.levels[p] = RANK_DEPENDENT if p == "rank" else REPLICATED
+
+    def get(self, name: str) -> int:
+        return self.levels.get(name, REPLICATED)
+
+    def join(self, name: str, level: int) -> None:
+        self.levels[name] = max(self.levels.get(name, REPLICATED), level)
+
+
+def _classify(node: ast.AST | None, env: _Env) -> int:
+    """Lattice level of an expression (monotone max over sub-expressions)."""
+    if node is None:
+        return REPLICATED
+    if isinstance(node, ast.Constant):
+        return REPLICATED
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Attribute):
+        if node.attr == "rank":
+            return RANK_DEPENDENT
+        if node.attr == "size" and _is_comm_expr(node.value):
+            return REPLICATED
+        return _classify(node.value, env)
+    if isinstance(node, ast.Call):
+        op = _collective_op(node)
+        if op is not None:
+            # Replicated results stay replicated regardless of their inputs.
+            return (REPLICATED if op in UNIFORM_RESULT else RANK_LOCAL)
+        if env.call_level is not None:
+            known = env.call_level(node, env)
+            if known is not None:
+                return known
+        level = _classify(node.func, env)
+        for arg in node.args:
+            level = max(level, _classify(arg, env))
+        for kw in node.keywords:
+            level = max(level, _classify(kw.value, env))
+        return level
+    if isinstance(node, ast.Lambda):
+        return REPLICATED
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                         ast.DictComp)):
+        level = REPLICATED
+        for gen in node.generators:
+            it_level = _classify(gen.iter, env)
+            level = max(level, it_level)
+            for name in _target_names(gen.target):
+                env.join(name, it_level)
+            for cond in gen.ifs:
+                level = max(level, _classify(cond, env))
+        if isinstance(node, ast.DictComp):
+            level = max(level, _classify(node.key, env),
+                        _classify(node.value, env))
+        else:
+            level = max(level, _classify(node.elt, env))
+        return level
+    if isinstance(node, ast.NamedExpr):
+        level = _classify(node.value, env)
+        for name in _target_names(node.target):
+            env.join(name, level)
+        return level
+    level = REPLICATED
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.expr, ast.keyword)):
+            level = max(level, _classify(child, env))
+    return level
+
+
+def _infer_env(fn: ast.AST, params: Sequence[str],
+               call_level: Callable[[ast.Call, _Env], int | None]
+               | None = None,
+               overrides: dict[str, int] | None = None) -> _Env:
+    """Fixpoint pass over assignments so taint flows through name chains.
+
+    ``overrides`` pins selected names to a starting level — the summary
+    builder uses it to taint one parameter at a time and observe where the
+    taint flows.
+    """
+    env = _Env(params, call_level=call_level)
+    if overrides:
+        env.levels.update(overrides)
+    for _ in range(8):
+        before = dict(env.levels)
+        for node in _walk_in_scope(fn):
+            if isinstance(node, ast.Assign):
+                level = _classify(node.value, env)
+                for tgt in node.targets:
+                    for name in _target_names(tgt):
+                        env.join(name, level)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                level = _classify(node.value, env)
+                for name in _target_names(node.target):
+                    env.join(name, level)
+            elif isinstance(node, ast.AugAssign):
+                level = _classify(node.value, env)
+                for name in _target_names(node.target):
+                    env.join(name, level)
+            elif isinstance(node, ast.For):
+                level = _classify(node.iter, env)
+                for name in _target_names(node.target):
+                    env.join(name, level)
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None:
+                    level = _classify(node.context_expr, env)
+                    for name in _target_names(node.optional_vars):
+                        env.join(name, level)
+        if overrides:
+            env.levels.update(overrides)
+        if env.levels == before:
+            break
+    return env

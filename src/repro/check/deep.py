@@ -1,0 +1,374 @@
+"""Whole-program SPMD analysis: the ``repro check --deep`` pass.
+
+The intraprocedural linters (:mod:`.spmdlint`, :mod:`.racecheck`) go
+blind the moment a rank-dependent value crosses a function boundary.
+This module closes that gap:
+
+1. it builds a module-level call graph over every file under analysis
+   (:mod:`.callgraph`) and computes per-function summaries — transitive
+   collective schedule plus the lattice effect on parameters and return
+   value (:mod:`.summaries`);
+2. it re-runs the schedule rules with two interprocedural hooks plugged
+   into :class:`~.spmdlint._FunctionLinter` — calls to collective-issuing
+   helpers become schedule *sites* (so SPMD002/003 fire across call
+   boundaries) and calls to summarized functions classify from their
+   summaries (so a helper returning ``comm.rank``-derived data taints its
+   caller and SPMD001–005 fire on previously invisible flows);
+3. it adds three interprocedural rules — SPMD009 (collective reachable
+   only under rank-dependent control flow), SPMD010 (rank-dependent
+   argument into a gate/size parameter), SPMD011 (conflicting transitive
+   schedules at a join point) — and the backend-portability rule SPMD012
+   (:mod:`.picklecheck`);
+4. it reports through the shared machinery: findings dedupe against the
+   shallow pass, honor inline suppressions, can be grandfathered by a
+   checked-in baseline (:func:`load_baseline`), and are memoized in a
+   content-hash result cache keyed on ``(file sha, summary-table digest)``
+   so ``--deep`` over the full tree stays fast in ``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from collections import Counter
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ._astutil import (
+    RANK_DEPENDENT,
+    Finding,
+    _classify,
+    _Env,
+    _final_identifier,
+)
+from .callgraph import CallGraph, ModuleInfo, build_callgraph
+from .picklecheck import lint_portability
+from .racecheck import lint_ownership
+from .spmdlint import (
+    RULES,
+    _FunctionLinter,
+    apply_suppressions,
+    iter_python_files,
+)
+from .summaries import (
+    SummaryTable,
+    bind_args,
+    build_summaries,
+    summaries_digest,
+)
+
+__all__ = ["deep_lint_paths", "deep_lint_files",
+           "load_baseline", "write_baseline", "apply_baseline",
+           "baseline_key"]
+
+#: Bumped whenever analyzer behavior changes: invalidates result caches.
+ANALYZER_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# the deep linter: _FunctionLinter with interprocedural hooks
+# ---------------------------------------------------------------------------
+class _DeepLinter(_FunctionLinter):
+    """Schedule rules with call-graph summaries plugged in.
+
+    The branch check splits three ways at a rank-dependent ``if``:
+
+    * direct (shallow-visible) site labels differ → SPMD001, exactly as
+      the shallow pass reports it;
+    * direct labels agree but the *expanded* transitive sequences differ,
+      with exactly one arm issuing collectives → SPMD009 (some ranks
+      reach a collective no other rank ever issues);
+    * both arms issue collectives but in conflicting sequences → SPMD011.
+    """
+
+    def __init__(self, fn, path, select, mod: ModuleInfo,
+                 table: SummaryTable):
+        self._mod = mod
+        self._table = table
+        self._summary_hook = table.call_level(mod)
+        super().__init__(fn, path, select)
+        self._check_call_args()
+
+    # -- hooks ---------------------------------------------------------------
+    def _extra_site_label(self, call: ast.Call) -> str | None:
+        summary = self._table.for_call(self._mod, call)
+        if summary is not None and summary.issues:
+            ident = _final_identifier(call.func)
+            return f"call:{ident or '<dynamic>'}"
+        return None
+
+    def _call_level(self, call: ast.Call, env: _Env) -> int | None:
+        return self._summary_hook(call, env)
+
+    # -- SPMD001 / SPMD009 / SPMD011 ----------------------------------------
+    def _expanded_ops(self, stmts: Sequence[ast.stmt]) -> list[str]:
+        """Transitive collective sequence of a statement list."""
+        ops: list[str] = []
+        sites = []
+        for s in stmts:
+            sites.extend(self._sites_in(s))
+        sites.sort(key=lambda lc: (lc[1].lineno, lc[1].col_offset))
+        for label, call in sites:
+            if label.startswith("call:"):
+                summary = self._table.for_call(self._mod, call)
+                if summary is not None:
+                    ops.extend(summary.schedule)
+                else:
+                    ops.append(label)  # comm-forwarding, unknown schedule
+            else:
+                ops.append(label)
+        return ops
+
+    def _check_branch(self, stmt: ast.If, level: int) -> None:
+        if level != RANK_DEPENDENT:
+            return
+        from .spmdlint import _site_label as shallow_label
+
+        def shallow_ops(stmts: Sequence[ast.stmt]) -> Counter:
+            out: Counter = Counter()
+            for s in stmts:
+                for label, call in self._sites_in(s):
+                    if shallow_label(call) is not None:
+                        out[label] += 1
+            return out
+
+        body_direct, else_direct = (shallow_ops(stmt.body),
+                                    shallow_ops(stmt.orelse))
+        if body_direct != else_direct:
+            diff = sorted((body_direct - else_direct)
+                          + (else_direct - body_direct))
+            self._emit(
+                "SPMD001", stmt,
+                f"rank-dependent branch issues unmatched collectives "
+                f"({', '.join(diff)}): every rank must run the same "
+                f"schedule on both arms")
+            return
+        body_ops = self._expanded_ops(stmt.body)
+        else_ops = self._expanded_ops(stmt.orelse)
+        if body_ops == else_ops:
+            return
+        if bool(body_ops) != bool(else_ops):
+            arm = "true" if body_ops else "else"
+            ops = body_ops or else_ops
+            self._emit(
+                "SPMD009", stmt,
+                f"collective schedule ({', '.join(sorted(set(ops))[:4])}) "
+                f"is reachable only through the {arm} arm of a "
+                f"rank-dependent branch (via helper calls): ranks that "
+                f"skip the arm never issue it and the world deadlocks")
+        else:
+            self._emit(
+                "SPMD011", stmt,
+                f"the two paths from this rank-dependent branch issue "
+                f"conflicting transitive collective sequences "
+                f"([{', '.join(body_ops[:4])}] vs "
+                f"[{', '.join(else_ops[:4])}]): every rank must reach the "
+                f"join point with the same schedule")
+
+    # -- SPMD010 -------------------------------------------------------------
+    def _check_call_args(self) -> None:
+        from ._astutil import _walk_in_scope
+
+        for call in _walk_in_scope(self.fn):
+            if not isinstance(call, ast.Call):
+                continue
+            summary = self._table.for_call(self._mod, call)
+            if summary is None:
+                continue
+            sinks = summary.gate_params | summary.size_params
+            if not sinks:
+                continue
+            for pname, expr in bind_args(summary, call):
+                if pname not in sinks:
+                    continue
+                if _classify(expr, self.env) != RANK_DEPENDENT:
+                    continue
+                how = ("gates" if pname in summary.gate_params else "sizes")
+                self._emit(
+                    "SPMD010", expr,
+                    f"rank-dependent value passed to parameter '{pname}' "
+                    f"of '{summary.key.rsplit('.', 1)[-1]}', which {how} "
+                    f"a collective inside the callee: ranks would run "
+                    f"divergent schedules — replicate the value "
+                    f"(allreduce/bcast) first")
+
+    def run(self) -> list[Finding]:
+        # SPMD010 findings exist even when this function has no sites of
+        # its own (the collectives live in the callee).
+        if not self.sites:
+            return self.findings
+        self._visit_block(self.fn.body, loops=[], cond=None)
+        return self.findings
+
+
+# ---------------------------------------------------------------------------
+# per-module deep lint
+# ---------------------------------------------------------------------------
+def _dedupe_key(f: Finding) -> tuple:
+    return (f.rule, f.path, f.line, f.col, f.function)
+
+
+def _deep_lint_module(mod: ModuleInfo, table: SummaryTable,
+                      select: frozenset[str]) -> list[Finding]:
+    """Shallow + deep + portability findings for one parsed module."""
+    findings: list[Finding] = []
+    shallow_seen: set[tuple] = set()
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        shallow = _FunctionLinter(node, str(mod.path), select).run()
+        findings.extend(shallow)
+        shallow_seen.update(_dedupe_key(f) for f in shallow)
+        deep = _DeepLinter(node, str(mod.path), select, mod, table).run()
+        findings.extend(f for f in deep
+                        if _dedupe_key(f) not in shallow_seen)
+    findings.extend(lint_ownership(mod.tree, str(mod.path), select))
+    findings.extend(lint_portability(mod.tree, str(mod.path), select))
+    apply_suppressions(findings, mod.source)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# content-hash result cache
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """JSON file memoizing per-file deep findings.
+
+    Key: ``sha256(source) + summary-table digest + rule selection +
+    analyzer version``.  Because the digest covers interprocedural
+    *summaries* rather than raw bytes of other files, editing a comment in
+    one file leaves every other file's entry hot.  Entries not touched by
+    the current run are dropped on save, so the file cannot grow without
+    bound.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, list[dict]] = {}
+        self._touched: set[str] = set()
+        if self.path.exists():
+            try:
+                data = json.loads(self.path.read_text())
+                if data.get("version") == ANALYZER_VERSION:
+                    self._entries = data.get("entries", {})
+            except (json.JSONDecodeError, OSError):
+                self._entries = {}
+
+    @staticmethod
+    def key(source: str, digest: str, select: frozenset[str]) -> str:
+        h = hashlib.sha256()
+        h.update(source.encode())
+        h.update(digest.encode())
+        h.update(",".join(sorted(select)).encode())
+        h.update(str(ANALYZER_VERSION).encode())
+        return h.hexdigest()
+
+    def get(self, key: str) -> list[Finding] | None:
+        raw = self._entries.get(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched.add(key)
+        return [Finding(**entry) for entry in raw]
+
+    def put(self, key: str, findings: list[Finding]) -> None:
+        self._entries[key] = [asdict(f) for f in findings]
+        self._touched.add(key)
+
+    def save(self) -> None:
+        payload = {
+            "version": ANALYZER_VERSION,
+            "entries": {k: v for k, v in self._entries.items()
+                        if k in self._touched},
+        }
+        self.path.write_text(json.dumps(payload))
+
+
+# ---------------------------------------------------------------------------
+# baseline (grandfathered findings)
+# ---------------------------------------------------------------------------
+def baseline_key(f: Finding) -> str:
+    """Line-drift-tolerant identity of a finding.
+
+    Keyed on (path, rule, function, message) — not on line/column — so
+    unrelated edits above a grandfathered finding do not resurrect it.
+    """
+    h = hashlib.sha256(
+        f"{Path(f.path).as_posix()}|{f.rule}|{f.function}|{f.message}"
+        .encode()).hexdigest()[:16]
+    return h
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Record every unsuppressed finding as grandfathered; returns count."""
+    entries = sorted(
+        {baseline_key(f): {"key": baseline_key(f), "rule": f.rule,
+                           "path": Path(f.path).as_posix(),
+                           "function": f.function}
+         for f in findings if not f.suppressed}.values(),
+        key=lambda e: (e["path"], e["rule"], e["key"]))
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The set of grandfathered finding keys recorded in a baseline file."""
+    data = json.loads(Path(path).read_text())
+    return {entry["key"] for entry in data.get("findings", [])}
+
+
+def apply_baseline(findings: Iterable[Finding], keys: set[str]) -> None:
+    """Mark findings present in the baseline as grandfathered."""
+    for f in findings:
+        if not f.suppressed and baseline_key(f) in keys:
+            f.baselined = True
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def deep_lint_files(files: Sequence[Path],
+                    select: Iterable[str] | None = None,
+                    cache: ResultCache | str | Path | None = None,
+                    ) -> list[Finding]:
+    """Whole-program lint over an explicit file list."""
+    selected = frozenset(select) if select is not None else frozenset(RULES)
+    graph: CallGraph = build_callgraph(files)
+    table = build_summaries(graph)
+    digest = summaries_digest(table)
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(Path(cache))
+    findings: list[Finding] = []
+    for path in files:
+        mod = graph.by_path.get(Path(path).resolve())
+        if mod is None:
+            continue  # unparseable file: nothing to report statically
+        key = ResultCache.key(mod.source, digest, selected)
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        result = _deep_lint_module(mod, table, selected)
+        if cache is not None:
+            cache.put(key, result)
+        findings.extend(result)
+    if cache is not None:
+        cache.save()
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def deep_lint_paths(paths: Sequence[str | Path],
+                    select: Iterable[str] | None = None,
+                    cache: ResultCache | str | Path | None = None,
+                    ) -> list[Finding]:
+    """Whole-program lint over files and/or directory trees."""
+    return deep_lint_files(iter_python_files(paths), select=select,
+                           cache=cache)

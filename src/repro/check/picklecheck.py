@@ -1,0 +1,236 @@
+"""Backend-portability static pass ("picklecheck"): rule SPMD012.
+
+The process-backed runtimes (``procs``, ``mpi``) ship SPMD work to spawned
+rank processes by pickling: the kernel function pickles *by reference*
+(module + qualname), so closures, lambdas, and other non-module-level
+callables — and launch arguments that cannot be pickled at all (locks,
+open files, sockets, generators) — fail at spawn with an
+``SpmdLaunchError``.  The runtime diagnostics (PR 6,
+:func:`repro.runtime.backends.base.find_unpicklable`) name the offender at
+*launch time*; this pass flags the same constructs at *lint time*, before
+any backend is ever selected, so code stays portable to every backend.
+
+What is flagged (rule SPMD012, suppressible like every other rule):
+
+* a ``lambda`` or a *nested* ``def`` (a function defined inside another
+  function — a closure once it is shipped) passed as the kernel argument
+  of ``run_spmd`` or anywhere into an ``AnalyticsEngine`` construction;
+* launch arguments that are provably unpicklable: names bound to (or
+  direct calls of) ``threading.Lock``/``RLock``/``Condition``/``Event``/
+  ``Semaphore``, ``open(...)``, ``socket(...)``, and generator
+  expressions (``(x for x in ...)`` pickles on no backend).
+
+The pass is precision-first: only *locally visible* evidence fires — a
+name is flagged only when its binding to a lambda / nested def /
+unpicklable constructor is in the same scope as the launch call.  Values
+that arrive through parameters are assumed portable (the runtime
+diagnostics remain the backstop).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ._astutil import Finding, _final_identifier, _walk_in_scope
+
+__all__ = ["PORTABILITY_RULES", "lint_portability"]
+
+PORTABILITY_RULES: dict[str, str] = {
+    "SPMD012": "non-module-level callable (closure/lambda) or unpicklable "
+               "value flows into an SPMD launch: fails at spawn on the "
+               "procs/mpi backends",
+}
+
+#: Call targets treated as SPMD launches ``(final identifier)``.
+_LAUNCHES = frozenset({"run_spmd"})
+
+#: Call targets whose *every* argument is shipped to rank processes.
+_ENGINES = frozenset({"AnalyticsEngine"})
+
+#: ``run_spmd`` keyword arguments consumed by the launcher itself (never
+#: shipped to ranks), mirroring :func:`repro.runtime.run_spmd`.
+_LAUNCH_OPTION_KWARGS = frozenset(
+    {"timeout", "collect_traces", "verify", "sanitize", "backend"})
+
+#: Constructors whose results are famously unpicklable.
+_UNPICKLABLE_CTORS = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier", "local", "open", "socket", "Popen",
+})
+
+
+def _is_launch(call: ast.Call) -> str | None:
+    ident = _final_identifier(call.func)
+    if ident in _LAUNCHES:
+        return "run_spmd"
+    if ident in _ENGINES:
+        return "AnalyticsEngine"
+    return None
+
+
+class _Scope:
+    """Portability facts visible inside one scope (module or function)."""
+
+    def __init__(self, owner: ast.AST, parent: "_Scope | None"):
+        self.owner = owner
+        self.parent = parent
+        #: Names of defs nested inside a *function* scope (closures).
+        self.nested_defs: set[str] = set()
+        #: Names bound to a lambda in this scope.
+        self.lambda_names: set[str] = set()
+        #: Names bound to a known-unpicklable constructor in this scope.
+        self.unpicklable: dict[str, str] = {}
+
+    def lookup_nested_def(self, name: str) -> bool:
+        s: _Scope | None = self
+        while s is not None:
+            if name in s.nested_defs:
+                return True
+            s = s.parent
+        return False
+
+    def lookup_lambda(self, name: str) -> bool:
+        s: _Scope | None = self
+        while s is not None:
+            if name in s.lambda_names:
+                return True
+            s = s.parent
+        return False
+
+    def lookup_unpicklable(self, name: str) -> str | None:
+        s: _Scope | None = self
+        while s is not None:
+            if name in s.unpicklable:
+                return s.unpicklable[name]
+            s = s.parent
+        return None
+
+
+def _collect_scope(owner: ast.AST, parent: _Scope | None) -> _Scope:
+    scope = _Scope(owner, parent)
+    inside_function = isinstance(owner, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+    # Walk direct statements (including nested blocks) but not nested
+    # function bodies, looking at bindings.
+    stack = list(ast.iter_child_nodes(owner))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if inside_function:
+                scope.nested_defs.add(node.name)
+            continue  # do not descend: nested scope
+        if isinstance(node, (ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if isinstance(node.value, ast.Lambda):
+                    scope.lambda_names.add(target.id)
+                elif isinstance(node.value, ast.Call):
+                    ctor = _final_identifier(node.value.func)
+                    if ctor in _UNPICKLABLE_CTORS:
+                        scope.unpicklable[target.id] = ctor
+        stack.extend(ast.iter_child_nodes(node))
+    return scope
+
+
+def _shipped_args(call: ast.Call, kind: str) -> Iterable[tuple[str, ast.expr]]:
+    """The (description, expr) pairs a launch ships to rank processes."""
+    if kind == "run_spmd":
+        # run_spmd(nranks, fn, *args, **kwargs) — nranks itself is an int.
+        if len(call.args) >= 2:
+            yield "kernel function", call.args[1]
+        for i, a in enumerate(call.args[2:], start=1):
+            yield f"positional argument #{i}", a
+        for kw in call.keywords:
+            if kw.arg is None or kw.arg in _LAUNCH_OPTION_KWARGS:
+                continue
+            if kw.arg == "fn":
+                yield "kernel function", kw.value
+            else:
+                yield f"keyword argument '{kw.arg}'", kw.value
+    else:  # AnalyticsEngine: fn specs and payloads travel to workers
+        for i, a in enumerate(call.args, start=1):
+            yield f"positional argument #{i}", a
+        for kw in call.keywords:
+            if kw.arg is not None:
+                yield f"keyword argument '{kw.arg}'", kw.value
+
+
+def _diagnose(expr: ast.expr, scope: _Scope) -> str | None:
+    """Why ``expr`` cannot ship to a process-backed rank, or ``None``."""
+    if isinstance(expr, ast.Lambda):
+        return "a lambda (pickles by reference; lambdas have no module path)"
+    if isinstance(expr, ast.GeneratorExp):
+        return "a generator expression (generators cannot be pickled)"
+    if isinstance(expr, ast.Call):
+        ctor = _final_identifier(expr.func)
+        if ctor in _UNPICKLABLE_CTORS:
+            return f"a {ctor}() result (unpicklable)"
+        return None
+    if isinstance(expr, ast.Name):
+        if scope.lookup_nested_def(expr.id):
+            return (f"the nested function '{expr.id}' (a closure: defined "
+                    f"inside another function, so it has no module-level "
+                    f"path to pickle by reference)")
+        if scope.lookup_lambda(expr.id):
+            return f"'{expr.id}', bound to a lambda (no module-level path)"
+        ctor = scope.lookup_unpicklable(expr.id)
+        if ctor is not None:
+            return f"'{expr.id}', bound to a {ctor}() result (unpicklable)"
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        for e in expr.elts:
+            why = _diagnose(e, scope)
+            if why is not None:
+                return why
+    if isinstance(expr, ast.Dict):
+        for v in expr.values:
+            if v is not None:
+                why = _diagnose(v, scope)
+                if why is not None:
+                    return why
+    return None
+
+
+def _scan_scope(owner: ast.AST, parent: _Scope | None, path: str,
+                select: frozenset[str], func_name: str,
+                findings: list[Finding]) -> None:
+    scope = _collect_scope(owner, parent)
+    for node in _walk_in_scope(owner):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _is_launch(node)
+        if kind is None:
+            continue
+        for what, expr in _shipped_args(node, kind):
+            why = _diagnose(expr, scope)
+            if why is None:
+                continue
+            if "SPMD012" in select:
+                findings.append(Finding(
+                    rule="SPMD012",
+                    message=(f"{kind} {what} is {why}; the procs/mpi "
+                             f"backends reject this at spawn — move the "
+                             f"callable to module level and pass data "
+                             f"through picklable arguments"),
+                    path=path, line=expr.lineno, col=expr.col_offset + 1,
+                    function=func_name))
+    # Recurse into nested function scopes with this scope as parent.
+    stack = list(ast.iter_child_nodes(owner))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _scan_scope(node, scope, path, select, node.name, findings)
+            continue
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def lint_portability(tree: ast.Module, path: str,
+                     select: frozenset[str]) -> list[Finding]:
+    """Run SPMD012 over a parsed module."""
+    findings: list[Finding] = []
+    _scan_scope(tree, None, path, select, "<module>", findings)
+    return findings

@@ -3,26 +3,20 @@
 Model
 -----
 The analyzer treats every function that issues a collective — a call
-``X.<op>(...)`` whose receiver's final identifier contains ``comm`` — as an
-SPMD function, and classifies every expression into a three-level lattice:
-
-``REPLICATED``
-    provably identical on all ranks under the codebase's conventions:
-    constants, function arguments (``run_spmd`` passes the same arguments
-    to every rank), module-level names, and the results of uniform-result
-    collectives (``allreduce``, ``bcast``, ``allgather``, ``allgatherv``);
-``RANK_LOCAL``
-    potentially different per rank: results of per-rank collectives
-    (``alltoallv``, ``gather``, ``scan``, …) and anything derived from them;
-``RANK_DEPENDENT``
-    explicitly keyed on the rank id (``comm.rank`` or any ``.rank``
-    attribute) and anything derived from it.
+``X.<op>(...)`` whose receiver's final identifier is communicator-named
+(``comm``, ``*_comm``, ``comm_*``) — as an SPMD function, and classifies
+every expression into the three-level replication lattice shared by all
+static passes (see :mod:`._astutil`): ``REPLICATED`` < ``RANK_LOCAL`` <
+``RANK_DEPENDENT``.
 
 The heuristic is deliberately precision-first (a lint finding should almost
 always be real): attributes of parameters (``g.n_global``) are assumed
 replicated, so rank-locality enters only through ``comm.rank`` and the
 per-rank collectives.  Calls that *forward* the communicator
 (``helper(comm, …)``) count as collective sites for schedule purposes.
+This module is intraprocedural; :mod:`.deep` reuses :class:`_FunctionLinter`
+through its ``_extra_site_label`` / ``_call_level`` hooks to make the same
+rules fire across call boundaries.
 
 Findings carry a rule id, a precise ``path:line:col`` span, and honor
 ``# spmdlint: disable[=SPMD001[,SPMD002]]`` on the flagged line (or
@@ -40,20 +34,29 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ._astutil import (
+    RANK_DEPENDENT,
+    RANK_LOCAL,
+    REPLICATED,
     _SCOPE_BARRIERS,
-    COLLECTIVES,
     Finding,
+    _classify,
     _collective_op,
+    _Env,
     _final_identifier,
-    _is_comm_expr,
+    _fn_params,
+    _infer_env,
+    _is_comm_name,
     _target_names,
     _walk_in_scope,
 )
+from .picklecheck import PORTABILITY_RULES
 from .racecheck import OWNERSHIP_RULES, lint_ownership
 
 __all__ = ["Finding", "RULES", "SCHEDULE_RULES", "OWNERSHIP_RULES",
-           "RULE_DOCS", "lint_source", "lint_file", "lint_paths",
-           "render_text", "render_json", "render_github",
+           "DEEP_RULES", "PORTABILITY_RULES",
+           "RULE_DOCS", "RULE_FIXES", "lint_source", "lint_file",
+           "lint_paths", "iter_python_files",
+           "render_text", "render_json", "render_github", "render_sarif",
            "suppression_hint"]
 
 # ---------------------------------------------------------------------------
@@ -75,9 +78,22 @@ SCHEDULE_RULES: dict[str, str] = {
                "(ordering is not deterministic across ranks)",
 }
 
-#: Every rule the ``repro check`` pass knows: schedule rules (this module)
-#: plus buffer-ownership rules (:mod:`.racecheck`).
-RULES: dict[str, str] = {**SCHEDULE_RULES, **OWNERSHIP_RULES}
+#: Interprocedural rules implemented by :mod:`.deep` (``--deep`` only).
+DEEP_RULES: dict[str, str] = {
+    "SPMD009": "collective (transitively, through helper calls) reachable "
+               "only under rank-dependent control flow: some ranks issue "
+               "it, others never do",
+    "SPMD010": "rank-dependent value passed into a parameter the callee "
+               "uses to gate or size a collective",
+    "SPMD011": "conflicting transitive collective sequences on the two "
+               "paths to the same join point",
+}
+
+#: Every rule the ``repro check`` pass knows: schedule rules (this module),
+#: buffer-ownership rules (:mod:`.racecheck`), interprocedural rules
+#: (:mod:`.deep`), and backend-portability rules (:mod:`.picklecheck`).
+RULES: dict[str, str] = {**SCHEDULE_RULES, **OWNERSHIP_RULES,
+                         **DEEP_RULES, **PORTABILITY_RULES}
 
 #: Where each rule is documented (repo-relative anchor into DESIGN.md).
 RULE_DOCS: dict[str, str] = {
@@ -85,6 +101,34 @@ RULE_DOCS: dict[str, str] = {
        for rule in SCHEDULE_RULES},
     **{rule: "DESIGN.md#9-buffer-ownership-model"
        for rule in OWNERSHIP_RULES},
+    **{rule: "DESIGN.md#13-whole-program-spmd-analysis"
+       for rule in {**DEEP_RULES, **PORTABILITY_RULES}},
+}
+
+#: One-line fix advice per rule (rendered into SARIF rule help and README).
+RULE_FIXES: dict[str, str] = {
+    "SPMD001": "issue the same collective schedule on both arms (non-roots "
+               "pass None/empty payloads) instead of branching the schedule",
+    "SPMD002": "hoist the exit decision into a replicated value (allreduce "
+               "the predicate) so every rank exits together",
+    "SPMD003": "derive the trip count from an allreduce/bcast result so "
+               "every rank runs the same number of iterations",
+    "SPMD004": "switch to the buffer collective (gatherv/allgatherv/"
+               "alltoallv) on the hot path",
+    "SPMD005": "sort the set before reducing (len/min/max are fine as-is)",
+    "SPMD006": "take comm.own(payload) (or drop copy=False) before writing",
+    "SPMD007": "mutate a copy, or re-bind the name to fresh data before "
+               "writing the published buffer",
+    "SPMD008": "store comm.own(payload) / payload.copy() instead of the "
+               "borrow",
+    "SPMD009": "call the helper on every rank (it can no-op internally via "
+               "replicated state) so the schedule stays uniform",
+    "SPMD010": "replicate the value first (allreduce/bcast it) before "
+               "passing it to a parameter that gates or sizes collectives",
+    "SPMD011": "make both paths issue the same transitive collective "
+               "sequence, or hoist the collectives above the branch",
+    "SPMD012": "move the callable to module level and pass data through "
+               "picklable arguments (see DESIGN.md §12 fn specs)",
 }
 
 
@@ -92,9 +136,6 @@ def suppression_hint(rule: str) -> str:
     """The inline comment that suppresses ``rule`` on the flagged line."""
     return f"# spmdlint: disable={rule}"
 
-#: Collectives whose result is identical on every rank.
-UNIFORM_RESULT = frozenset(
-    {"allreduce", "bcast", "allgather", "allgatherv", "barrier"})
 
 #: Object (pickling) collectives and their buffer replacements.
 BUFFER_ALTERNATIVE = {
@@ -107,9 +148,6 @@ BUFFER_ALTERNATIVE = {
 #: Reduction collectives (checked by SPMD005).
 REDUCTIONS = frozenset(
     {"allreduce", "reduce", "reduce_scatter", "scan", "exscan"})
-
-# Expression classification lattice.
-REPLICATED, RANK_LOCAL, RANK_DEPENDENT = 0, 1, 2
 
 
 # ---------------------------------------------------------------------------
@@ -142,13 +180,23 @@ def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
     return per_line, file_wide
 
 
+def apply_suppressions(findings: Iterable[Finding], source: str) -> None:
+    """Mark findings muted by inline/file-wide suppression comments."""
+    per_line, file_wide = _parse_suppressions(source)
+    for f in findings:
+        line_rules = per_line.get(f.line, set())
+        if ("ALL" in file_wide or f.rule in file_wide
+                or "ALL" in line_rules or f.rule in line_rules):
+            f.suppressed = True
+
+
 # ---------------------------------------------------------------------------
 # collective-site recognition (shared primitives live in ._astutil)
 # ---------------------------------------------------------------------------
 def _forwards_comm(call: ast.Call) -> bool:
     """True when the call passes a communicator onward (indirect site)."""
     for arg in list(call.args) + [kw.value for kw in call.keywords]:
-        if isinstance(arg, ast.Name) and "comm" in arg.id.lower():
+        if isinstance(arg, ast.Name) and _is_comm_name(arg.id):
             return True
     return False
 
@@ -164,146 +212,53 @@ def _site_label(call: ast.Call) -> str | None:
     return None
 
 
-def _sites_in(node: ast.AST) -> list[tuple[str, ast.Call]]:
-    """All collective sites (direct and indirect) inside one scope subtree."""
-    out = []
-    for child in _walk_in_scope(node):
-        if isinstance(child, ast.Call):
-            label = _site_label(child)
-            if label is not None:
-                out.append((label, child))
-    return out
-
-
-# ---------------------------------------------------------------------------
-# replication classification
-# ---------------------------------------------------------------------------
-class _Env:
-    """Name -> lattice level for one function scope (default: replicated)."""
-
-    def __init__(self, params: Sequence[str]):
-        self.levels: dict[str, int] = {}
-        for p in params:
-            # A parameter literally named "rank" carries the rank id.
-            self.levels[p] = RANK_DEPENDENT if p == "rank" else REPLICATED
-
-    def get(self, name: str) -> int:
-        return self.levels.get(name, REPLICATED)
-
-    def join(self, name: str, level: int) -> None:
-        self.levels[name] = max(self.levels.get(name, REPLICATED), level)
-
-
-def _classify(node: ast.AST | None, env: _Env) -> int:
-    """Lattice level of an expression (monotone max over sub-expressions)."""
-    if node is None:
-        return REPLICATED
-    if isinstance(node, ast.Constant):
-        return REPLICATED
-    if isinstance(node, ast.Name):
-        return env.get(node.id)
-    if isinstance(node, ast.Attribute):
-        if node.attr == "rank":
-            return RANK_DEPENDENT
-        if node.attr == "size" and _is_comm_expr(node.value):
-            return REPLICATED
-        return _classify(node.value, env)
-    if isinstance(node, ast.Call):
-        op = _collective_op(node)
-        if op is not None:
-            # Replicated results stay replicated regardless of their inputs.
-            return (REPLICATED if op in UNIFORM_RESULT else RANK_LOCAL)
-        level = _classify(node.func, env)
-        for arg in node.args:
-            level = max(level, _classify(arg, env))
-        for kw in node.keywords:
-            level = max(level, _classify(kw.value, env))
-        return level
-    if isinstance(node, ast.Lambda):
-        return REPLICATED
-    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
-                         ast.DictComp)):
-        level = REPLICATED
-        for gen in node.generators:
-            it_level = _classify(gen.iter, env)
-            level = max(level, it_level)
-            for name in _target_names(gen.target):
-                env.join(name, it_level)
-            for cond in gen.ifs:
-                level = max(level, _classify(cond, env))
-        if isinstance(node, ast.DictComp):
-            level = max(level, _classify(node.key, env),
-                        _classify(node.value, env))
-        else:
-            level = max(level, _classify(node.elt, env))
-        return level
-    if isinstance(node, ast.NamedExpr):
-        level = _classify(node.value, env)
-        for name in _target_names(node.target):
-            env.join(name, level)
-        return level
-    level = REPLICATED
-    for child in ast.iter_child_nodes(node):
-        if isinstance(child, (ast.expr, ast.keyword)):
-            level = max(level, _classify(child, env))
-    return level
-
-
-def _infer_env(fn: ast.AST, params: Sequence[str]) -> _Env:
-    """Fixpoint pass over assignments so taint flows through name chains."""
-    env = _Env(params)
-    for _ in range(8):
-        before = dict(env.levels)
-        for node in _walk_in_scope(fn):
-            if isinstance(node, ast.Assign):
-                level = _classify(node.value, env)
-                for tgt in node.targets:
-                    for name in _target_names(tgt):
-                        env.join(name, level)
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                level = _classify(node.value, env)
-                for name in _target_names(node.target):
-                    env.join(name, level)
-            elif isinstance(node, ast.AugAssign):
-                level = _classify(node.value, env)
-                for name in _target_names(node.target):
-                    env.join(name, level)
-            elif isinstance(node, ast.For):
-                level = _classify(node.iter, env)
-                for name in _target_names(node.target):
-                    env.join(name, level)
-            elif isinstance(node, ast.withitem):
-                if node.optional_vars is not None:
-                    level = _classify(node.context_expr, env)
-                    for name in _target_names(node.optional_vars):
-                        env.join(name, level)
-        if env.levels == before:
-            break
-    return env
-
-
 # ---------------------------------------------------------------------------
 # the analyzer
 # ---------------------------------------------------------------------------
 class _FunctionLinter:
-    """Applies every rule to one function scope."""
+    """Applies every rule to one function scope.
+
+    The deep pass (:mod:`.deep`) subclasses this: ``_extra_site_label``
+    turns calls to known collective-issuing helpers into schedule sites,
+    and ``_call_level`` classifies calls to summarized functions — with
+    both hooks inert, the linter is exactly the intraprocedural PR-2 pass.
+    """
 
     def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef,
                  path: str, select: frozenset[str]):
         self.fn = fn
         self.path = path
         self.select = select
-        args = fn.args
-        params = [a.arg for a in (args.posonlyargs + args.args
-                                  + args.kwonlyargs)]
-        if args.vararg:
-            params.append(args.vararg.arg)
-        if args.kwarg:
-            params.append(args.kwarg.arg)
-        self.env = _infer_env(fn, params)
-        self.sites = _sites_in(fn)
+        self.env = _infer_env(fn, _fn_params(fn),
+                              call_level=self._call_level)
+        self.sites = self._sites_in(fn)
         self.set_names = self._infer_set_names(fn)
         self.findings: list[Finding] = []
+
+    # -- deep-pass hooks ----------------------------------------------------
+    def _extra_site_label(self, call: ast.Call) -> str | None:
+        """Label calls the shallow pass cannot see as sites (deep only)."""
+        return None
+
+    def _call_level(self, call: ast.Call, env: _Env) -> int | None:
+        """Refined lattice level of a call result (deep only)."""
+        return None
+
+    def _site_label(self, call: ast.Call) -> str | None:
+        label = _site_label(call)
+        if label is not None:
+            return label
+        return self._extra_site_label(call)
+
+    def _sites_in(self, node: ast.AST) -> list[tuple[str, ast.Call]]:
+        """All collective sites (direct and indirect) in one scope subtree."""
+        out = []
+        for child in _walk_in_scope(node):
+            if isinstance(child, ast.Call):
+                label = self._site_label(child)
+                if label is not None:
+                    out.append((label, child))
+        return out
 
     def _infer_set_names(self, fn: ast.AST) -> set[str]:
         """Names bound (directly or transitively) to unordered sets."""
@@ -394,9 +349,9 @@ class _FunctionLinter:
         if level != RANK_DEPENDENT:
             return
         body_ops = Counter(
-            label for s in stmt.body for label, _ in _sites_in(s))
+            label for s in stmt.body for label, _ in self._sites_in(s))
         else_ops = Counter(
-            label for s in stmt.orelse for label, _ in _sites_in(s))
+            label for s in stmt.orelse for label, _ in self._sites_in(s))
         if body_ops != else_ops:
             diff = sorted((body_ops - else_ops) + (else_ops - body_ops))
             self._emit(
@@ -420,7 +375,7 @@ class _FunctionLinter:
     def _check_loop_exit(self, stmt: ast.stmt, cond: str,
                          loop: ast.stmt) -> None:
         loop_sites = [(label, call) for s in loop.body
-                      for label, call in _sites_in(s)]
+                      for label, call in self._sites_in(s)]
         if isinstance(stmt, ast.Continue):
             relevant = [label for label, call in loop_sites
                         if call.lineno > stmt.lineno]
@@ -438,7 +393,8 @@ class _FunctionLinter:
 
     # -- SPMD003 -----------------------------------------------------------
     def _check_loop(self, stmt: ast.While | ast.For) -> None:
-        loop_sites = [label for s in stmt.body for label, _ in _sites_in(s)]
+        loop_sites = [label for s in stmt.body
+                      for label, _ in self._sites_in(s)]
         if not loop_sites:
             return
         driver = stmt.test if isinstance(stmt, ast.While) else stmt.iter
@@ -471,7 +427,7 @@ class _FunctionLinter:
         last assignment is a heuristic (a conditional reassignment could be
         skipped at runtime) — acceptable for a precision-first linter.
         """
-        refined = _Env([])
+        refined = _Env([], call_level=self._call_level)
         refined.levels = dict(self.env.levels)
         names = {n.id for n in ast.walk(driver) if isinstance(n, ast.Name)}
         for name in names:
@@ -582,19 +538,26 @@ def lint_source(source: str, path: str = "<string>",
     """Lint one Python source string; returns findings (incl. suppressed)."""
     selected = frozenset(select) if select is not None else frozenset(RULES)
     tree = ast.parse(source, filename=path)
-    per_line, file_wide = _parse_suppressions(source)
     findings: list[Finding] = []
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             findings.extend(_FunctionLinter(node, path, selected).run())
     findings.extend(lint_ownership(tree, path, selected))
-    for f in findings:
-        line_rules = per_line.get(f.line, set())
-        if ("ALL" in file_wide or f.rule in file_wide
-                or "ALL" in line_rules or f.rule in line_rules):
-            f.suppressed = True
+    apply_suppressions(findings, source)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files and/or directory trees into a ``**/*.py`` file list."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
 
 
 def lint_file(path: str | Path,
@@ -607,15 +570,8 @@ def lint_file(path: str | Path,
 def lint_paths(paths: Sequence[str | Path],
                select: Iterable[str] | None = None) -> list[Finding]:
     """Lint files and/or directory trees (``**/*.py``)."""
-    files: list[Path] = []
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
-        else:
-            files.append(p)
     findings: list[Finding] = []
-    for f in files:
+    for f in iter_python_files(paths):
         findings.extend(lint_file(f, select=select))
     return findings
 
@@ -623,13 +579,17 @@ def lint_paths(paths: Sequence[str | Path],
 def render_text(findings: Sequence[Finding],
                 show_suppressed: bool = False) -> str:
     """Human-readable report (one line per finding + a summary line)."""
-    active = [f for f in findings if not f.suppressed]
-    suppressed = [f for f in findings if f.suppressed]
+    active = [f for f in findings if not f.suppressed and not f.baselined]
+    muted = [f for f in findings if f.suppressed or f.baselined]
     lines = [f.format() for f in active]
     if show_suppressed:
-        lines += [f.format() for f in suppressed]
-    lines.append(
-        f"spmdlint: {len(active)} finding(s), {len(suppressed)} suppressed")
+        lines += [f.format() for f in muted]
+    n_supp = sum(1 for f in findings if f.suppressed)
+    n_base = sum(1 for f in findings if f.baselined and not f.suppressed)
+    tail = f"spmdlint: {len(active)} finding(s), {n_supp} suppressed"
+    if n_base:
+        tail += f", {n_base} baselined"
+    lines.append(tail)
     return "\n".join(lines)
 
 
@@ -640,7 +600,7 @@ def render_json(findings: Sequence[Finding]) -> str:
     exact inline comment that would suppress it (``suppress``), so CI
     consumers can surface actionable context without a rule lookup table.
     """
-    active = [f for f in findings if not f.suppressed]
+    active = [f for f in findings if not f.suppressed and not f.baselined]
     counts = Counter(f.rule for f in active)
     payload = {
         "findings": [
@@ -652,6 +612,8 @@ def render_json(findings: Sequence[Finding]) -> str:
         "counts": {rule: counts.get(rule, 0) for rule in sorted(RULES)},
         "total": len(active),
         "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings
+                         if f.baselined and not f.suppressed),
     }
     return json.dumps(payload, indent=2)
 
@@ -664,7 +626,7 @@ def render_github(findings: Sequence[Finding]) -> str:
     """
     lines = []
     for f in findings:
-        if f.suppressed:
+        if f.suppressed or f.baselined:
             continue
         lines.append(
             f"::error file={f.path},line={f.line},col={f.col},"
@@ -672,3 +634,69 @@ def render_github(findings: Sequence[Finding]) -> str:
             f"(suppress: {suppression_hint(f.rule)}; "
             f"docs: {RULE_DOCS.get(f.rule, 'DESIGN.md')})")
     return "\n".join(lines)
+
+
+#: SARIF 2.1.0 schema location (the format GitHub code scanning ingests).
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report (GitHub code-scanning upload format).
+
+    Every catalog rule is described in the tool component (id, short
+    description, fix advice, doc anchor); each finding becomes a result
+    with a precise region.  Suppressed and baselined findings are carried
+    with a ``suppressions`` entry so code scanning shows them as muted
+    instead of new.
+    """
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULES[rule]},
+            "help": {"text": f"Fix: {RULE_FIXES.get(rule, 'see docs')}. "
+                             f"Docs: {RULE_DOCS.get(rule, 'DESIGN.md')}"},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(RULES)
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": "error",
+            "message": {"text": f"[{f.function}] {f.message}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": str(f.path).replace("\\", "/"),
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": f.line, "startColumn": f.col},
+                },
+            }],
+        }
+        if f.suppressed or f.baselined:
+            kind = "inSource" if f.suppressed else "external"
+            just = ("inline spmdlint: disable comment" if f.suppressed
+                    else "grandfathered by .spmdlint-baseline.json")
+            result["suppressions"] = [
+                {"kind": kind, "justification": just}]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "spmdlint",
+                    "informationUri":
+                        "https://github.com/repro/repro#static-analysis",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2)

@@ -594,10 +594,17 @@ def _cmd_stream_apply(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 def _cmd_check(args: argparse.Namespace) -> int:
     from .check import RULES
+    from .check.deep import (
+        apply_baseline,
+        deep_lint_paths,
+        load_baseline,
+        write_baseline,
+    )
     from .check.spmdlint import (
         lint_paths,
         render_github,
         render_json,
+        render_sarif,
         render_text,
     )
 
@@ -610,17 +617,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
                   f"(known: {', '.join(sorted(RULES))})", file=sys.stderr)
             return 2
         select = args.select
-    findings = lint_paths(paths, select=select)
+    if args.deep:
+        findings = deep_lint_paths(paths, select=select, cache=args.cache)
+    else:
+        findings = lint_paths(paths, select=select)
+    if args.write_baseline is not None:
+        n = write_baseline(args.write_baseline, findings)
+        print(f"spmdlint: wrote {n} grandfathered finding(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            apply_baseline(findings, load_baseline(baseline_path))
+        else:
+            print(f"warning: baseline {baseline_path} not found; "
+                  f"treating every finding as new", file=sys.stderr)
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     elif args.format == "github":
         out = render_github(findings)
         if out:
             print(out)
     else:
         print(render_text(findings, show_suppressed=args.show_suppressed))
-    unsuppressed = sum(1 for f in findings if not f.suppressed)
-    return 1 if (args.strict and unsuppressed) else 0
+    fresh = sum(1 for f in findings if not f.suppressed and not f.baselined)
+    return 1 if (args.strict and fresh) else 0
 
 
 # ---------------------------------------------------------------------------
@@ -751,16 +774,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories to lint "
                         "(default: the installed repro package)")
     k.add_argument("--strict", action="store_true",
-                   help="exit 1 when any unsuppressed finding remains")
-    k.add_argument("--format", choices=("text", "json", "github"),
+                   help="exit 1 when any unsuppressed, non-baselined "
+                        "finding remains")
+    k.add_argument("--deep", action="store_true",
+                   help="whole-program pass: call-graph summaries make "
+                        "SPMD001-005 interprocedural and enable "
+                        "SPMD009-012")
+    k.add_argument("--format", choices=("text", "json", "github", "sarif"),
                    default="text",
                    help="output style: human text, machine JSON (with rule "
-                        "doc anchors and suppression syntax), or GitHub "
-                        "Actions ::error annotations")
+                        "doc anchors and suppression syntax), GitHub "
+                        "Actions ::error annotations, or SARIF 2.1.0")
     k.add_argument("--select", nargs="*", metavar="SPMDxxx",
                    help="restrict to these rule ids (default: all)")
     k.add_argument("--show-suppressed", action="store_true",
                    help="also list suppressed findings in text output")
+    k.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                   help="grandfather findings recorded in this baseline "
+                        "file (new findings still fail --strict)")
+    k.add_argument("--write-baseline", type=Path, default=None,
+                   metavar="FILE",
+                   help="record current unsuppressed findings as the "
+                        "baseline and continue")
+    k.add_argument("--cache", type=Path, default=None, metavar="FILE",
+                   help="content-hash result cache for --deep (keyed on "
+                        "file hash + summary-table digest)")
     k.set_defaults(fn=_cmd_check)
 
     return p

@@ -86,10 +86,7 @@ def calibrate_local(
     on the same machine; see ``tests/test_calibrate.py``).
     """
 
-    def job(comm):
-        return _comm_sweep(comm, payload_sizes)
-
-    times = run_spmd(nranks, job)[0]
+    times = run_spmd(nranks, _comm_sweep, payload_sizes)[0]
     # Bytes leaving one rank per round: (p-1) peers x payload.
     per_rank_bytes = np.array(payload_sizes, dtype=np.float64) * max(
         1, nranks - 1)

@@ -177,8 +177,11 @@ class _MpiSession(Session):
         def job(comm):
             return fn(comm, state)
 
+        # MPI workers ARE the launch: job runs in-process on already-
+        # spawned ranks and is never pickled, so the closure is safe here.
         results, traces, failures = self._backend.run_spmd(
-            self._nranks, job, (), {}, timeout=timeout, collect_traces=True,
+            self._nranks, job, (), {},  # spmdlint: disable=SPMD012
+            timeout=timeout, collect_traces=True,
             verify=self._verify, sanitize=self._sanitize)
         summaries = [t.summary() if t is not None else None
                      for t in (traces or [None] * self._nranks)]

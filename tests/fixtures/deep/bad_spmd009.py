@@ -1,0 +1,16 @@
+"""Seeded SPMD009: a helper's collective is reachable only on rank 0.
+
+Invisible to the shallow pass: ``reduce_total`` is not comm-named and the
+communicator travels inside ``world``, so ``summarize`` has no intra-
+procedural collective sites at all.
+"""
+
+
+def reduce_total(world, data):
+    return world.comm.allreduce(sum(data), "sum")
+
+
+def summarize(world, data):
+    if world.comm.rank == 0:
+        return reduce_total(world, data)
+    return None

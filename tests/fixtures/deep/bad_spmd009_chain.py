@@ -1,0 +1,17 @@
+"""Seeded SPMD009 through a two-level, cross-module call chain.
+
+``refresh`` -> ``settle`` (this module) -> ``sync_all`` (deep_helpers):
+the barrier is two calls and one module away from the rank-dependent
+branch that gates it.
+"""
+
+from deep_helpers import sync_all
+
+
+def settle(world):
+    sync_all(world)
+
+
+def refresh(world):
+    if world.comm.rank == 0:
+        settle(world)

@@ -1,0 +1,16 @@
+"""Seeded SPMD010: a rank-dependent value gates a collective in the callee.
+
+``maybe_sync`` is clean in isolation (``flag`` is a replicated argument by
+convention); the defect is at the call site, where the caller binds a
+rank-derived value to it.
+"""
+
+
+def maybe_sync(world, flag):
+    if flag:
+        world.comm.barrier()
+
+
+def update(world, items):
+    busy = len(items) + world.comm.rank > 0
+    maybe_sync(world, busy)

@@ -1,0 +1,13 @@
+"""Seeded SPMD010 (size variant): a rank-dependent value sizes a
+collective's payload inside the callee, so ranks contribute divergent
+shapes to the same collective.
+"""
+
+
+def share_prefix(world, payload, n):
+    return world.comm.allgatherv(payload[:n])
+
+
+def exchange(world, payload):
+    cut = world.comm.rank * 2
+    return share_prefix(world, payload, cut)

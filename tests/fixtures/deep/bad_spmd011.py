@@ -1,0 +1,24 @@
+"""Seeded SPMD011: both arms issue collectives, but in conflicting order.
+
+Each helper is schedule-correct in isolation; only the transitive
+expansion at the join point reveals that even ranks run
+allreduce-then-bcast while odd ranks run bcast-then-allreduce.
+"""
+
+
+def sync_then_share(world, x):
+    total = world.comm.allreduce(x, "sum")
+    return world.comm.bcast(total, 0)
+
+
+def share_then_sync(world, x):
+    y = world.comm.bcast(x, 0)
+    return world.comm.allreduce(y, "sum")
+
+
+def mix(world, x):
+    if world.comm.rank % 2 == 0:
+        out = sync_then_share(world, x)
+    else:
+        out = share_then_sync(world, x)
+    return out

@@ -1,0 +1,15 @@
+"""Seeded SPMD012: a closure shipped as the SPMD kernel.
+
+``kernel`` is defined inside ``calibrate`` and captures ``sizes``; the
+procs/mpi backends pickle kernels by reference (module + qualname), so
+this launch fails at spawn on any process-backed runtime.
+"""
+
+from repro.runtime import run_spmd
+
+
+def calibrate(sizes):
+    def kernel(comm):
+        return comm.allreduce(len(sizes), "sum")
+
+    return run_spmd(2, kernel)

@@ -1,0 +1,16 @@
+"""Seeded SPMD012 (lambda + unpicklable argument variants).
+
+A lambda has no module-level path to pickle by reference, and a
+``threading.Lock`` cannot be pickled at all: both are rejected at spawn by
+the process-backed runtimes.
+"""
+
+import threading
+
+from repro.runtime import run_spmd
+
+
+def launch(sizes):
+    scale = lambda comm: comm.allreduce(len(sizes), "sum")  # noqa: E731
+    lock = threading.Lock()
+    return run_spmd(2, scale, lock)

@@ -1,0 +1,44 @@
+"""Interprocedural patterns that must produce zero deep findings.
+
+Every shape here is one rank-divergence tweak away from a seeded
+violation in a sibling fixture — the deep rules must stay quiet on all of
+them (false positives are worse than misses for a precision-first pass).
+"""
+
+from deep_helpers import mean_of, sync_all
+
+
+def stats(world, values):
+    # Unconditional helper calls: uniform transitive schedule.
+    avg = mean_of(world, values)
+    sync_all(world)
+    return avg
+
+
+def branch_same_schedule(world, values):
+    # Rank-dependent branch, but both arms expand to the same schedule.
+    if world.comm.rank % 2 == 0:
+        out = mean_of(world, values)
+    else:
+        out = mean_of(world, values)
+    return out
+
+
+def replicated_gate(world, values, flag):
+    # Arguments are replicated by convention: a flag-gated collective in
+    # the callee is uniform when the flag itself is uniform.
+    if flag:
+        return mean_of(world, values)
+    return 0.0
+
+
+def tag_of(world, payload, tag):
+    data = world.comm.allgatherv(payload)
+    return (tag, data)
+
+
+def collect(world, payload):
+    # Rank-dependent value into a parameter the callee only *returns* —
+    # it never gates or sizes a collective, so this is schedule-safe.
+    label = world.comm.rank
+    return tag_of(world, payload, label)

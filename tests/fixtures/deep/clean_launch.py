@@ -1,0 +1,16 @@
+"""Portable launch patterns that must produce zero SPMD012 findings.
+
+Module-level kernel, picklable arguments, launcher-consumed option
+keywords: exactly what the procs/mpi backends accept.
+"""
+
+from repro.runtime import run_spmd
+
+
+def degree_sum(comm, rows):
+    return comm.allreduce(sum(rows), "sum")
+
+
+def launch(rows):
+    return run_spmd(2, degree_sum, list(rows), timeout=30.0,
+                    backend="threads")

@@ -1,0 +1,14 @@
+"""Shared collective-issuing helpers for the deep fixture corpus.
+
+Clean on its own: callers in sibling fixtures import these to exercise
+cross-module call-graph resolution.
+"""
+
+
+def sync_all(world):
+    world.comm.barrier()
+
+
+def mean_of(world, values):
+    total = world.comm.allreduce(sum(values), "sum")
+    return total / world.comm.size

@@ -1,0 +1,17 @@
+"""Regression fixture: comm-*substring* names are not communicators.
+
+``community``/``common``/``recommender`` contain "comm" but are ordinary
+objects — their ``gather``/``reduce`` methods are not collective sites, so
+the rank-dependent branch below issues no unmatched collectives.  Word-
+segment names (``mpi_comm``) still count: the trailing allreduce keeps
+this an SPMD function so the linter actually walks it.
+"""
+
+
+def summarize(community, common, mpi_comm, items):
+    merged = community.gather(items)
+    if mpi_comm.rank == 0:
+        merged = common.reduce(merged)
+    recommender = community
+    recommender.bcast(merged)
+    return mpi_comm.allreduce(len(items), "sum")

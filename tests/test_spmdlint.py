@@ -9,7 +9,9 @@ import pytest
 
 import repro
 from repro.check import (
+    DEEP_RULES,
     OWNERSHIP_RULES,
+    PORTABILITY_RULES,
     RULES,
     SCHEDULE_RULES,
     lint_file,
@@ -26,8 +28,12 @@ def unsuppressed(findings):
 
 
 def test_rule_catalog_is_partitioned():
-    assert set(RULES) == set(SCHEDULE_RULES) | set(OWNERSHIP_RULES)
-    assert not set(SCHEDULE_RULES) & set(OWNERSHIP_RULES)
+    families = [set(SCHEDULE_RULES), set(OWNERSHIP_RULES),
+                set(DEEP_RULES), set(PORTABILITY_RULES)]
+    assert set(RULES) == set().union(*families)
+    for i, a in enumerate(families):
+        for b in families[i + 1:]:
+            assert not a & b
 
 
 # ---------------------------------------------------------------------------
@@ -193,8 +199,55 @@ def work(comm, values):
 
 
 # ---------------------------------------------------------------------------
+# communicator-name matching: word boundaries, not substrings
+# ---------------------------------------------------------------------------
+def test_comm_name_matches_word_segments_only():
+    from repro.check._astutil import _is_comm_name
+
+    for yes in ("comm", "Comm", "sub_comm", "comm_world", "mpi_comm",
+                "MPI_COMM", "row_comm_2d"):
+        assert _is_comm_name(yes), yes
+    for no in ("common", "community", "recommend", "commit", "telecomms",
+               "comms", "communicator"):
+        assert not _is_comm_name(no), no
+
+
+def test_comm_substring_receivers_are_not_collective_sites():
+    # Regression: "community.gather(...)" once matched the old substring
+    # test and turned this rank-dependent branch into a false SPMD001.
+    assert lint_file(FIXTURES / "clean_commonwords.py") == []
+
+
+def test_comm_substring_names_do_not_forward_the_communicator():
+    src = """
+def work(comm, common, helper):
+    part = comm.scan(1, SUM)
+    if part > 1:
+        return None
+    helper(common, part)
+"""
+    # helper(common, ...) is not a comm-forwarding site, so the early
+    # return skips nothing.
+    assert lint_source(src) == []
+
+
+# ---------------------------------------------------------------------------
 # suppression machinery
 # ---------------------------------------------------------------------------
+def test_multiple_rule_ids_in_one_disable_comment():
+    src = """
+def work(comm, payload):
+    part = comm.scan(1, SUM)
+    if comm.rank == 0:  # spmdlint: disable=SPMD001,SPMD002
+        comm.bcast(payload, root=0)
+    else:
+        comm.barrier()
+"""
+    findings = lint_source(src)
+    assert findings and all(f.suppressed for f in findings)
+
+
+
 def test_wrong_rule_id_does_not_suppress():
     src = """
 def work(comm, payload):
