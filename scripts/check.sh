@@ -35,9 +35,23 @@ fi
 echo "== spmdlint (strict) =="
 PYTHONPATH=src python -m repro check src/repro --strict
 
+echo "== spmdlint autofix drift gate (--fix --check) =="
+# Fails when `repro check --fix` would still change a file: mechanical
+# findings (SPMD013 wraps, PERF001/PERF003 hoists) must be applied and
+# committed, not left for CI to discover.
+PYTHONPATH=src python -m repro check src/repro --fix --check
+
 echo "== spmdlint whole-program (--deep, strict, baselined) =="
 PYTHONPATH=src python -m repro check src/repro --deep --strict \
     --baseline .spmdlint-baseline.json --cache .spmdlint-cache.json
+
+echo "== spmdlint extras (benchmarks + examples, shallow, baselined) =="
+# Shallow only: the harness files are single-module entry points, and
+# the deep pass would pull their private helpers into the repo summary
+# table.  Grandfathered findings live in their own baseline so drift in
+# benchmark code never masks (or is masked by) src/repro findings.
+PYTHONPATH=src python -m repro check benchmarks examples --strict \
+    --baseline .spmdlint-extras-baseline.json
 
 echo "== spmdlint fixture corpora (pytest, parametrized) =="
 PYTHONPATH=src python -m pytest -x -q tests/test_check_corpus.py

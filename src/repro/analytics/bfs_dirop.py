@@ -117,8 +117,7 @@ def distributed_bfs_dirop(
             owners = g.ghost_tasks[ghosts - n_loc]
             order = np.argsort(owners, kind="stable")
             counts = np.bincount(owners, minlength=comm.size)
-            send = np.split(g.unmap[ghosts[order]], np.cumsum(counts)[:-1])
-            recv_gids, _ = comm.alltoallv(send)
+            recv_gids, _ = comm.alltoallv_flat(g.unmap[ghosts[order]], counts)
             if len(recv_gids):
                 recv_lids = sorted_unique(g.map.get(recv_gids))
                 recv_new = recv_lids[status[recv_lids] == NOT_VISITED]

@@ -139,13 +139,11 @@ def triangle_count(
         owners = g.owner_of_local(v_q)
         order_q = np.argsort(owners, kind="stable")
         counts_q = np.bincount(owners, minlength=comm.size)
-        splits = np.cumsum(counts_q)[:-1]
-        send_keys = np.split(pack(v_gid, w_gid)[order_q], splits)
-        recv_keys, recv_counts = comm.alltoallv(send_keys)
+        recv_keys, recv_counts = comm.alltoallv_flat(
+            pack(v_gid, w_gid)[order_q], counts_q)
 
         found = (edge_set.get(recv_keys, default=0) > 0).astype(np.int64)
-        reply = np.split(found, np.cumsum(recv_counts)[:-1])
-        answers, _ = comm.alltoallv(reply)
+        answers, _ = comm.alltoallv_flat(found, recv_counts)
         closed = np.zeros(total_pairs, dtype=np.int64)
         closed[order_q] = answers
 
@@ -157,8 +155,7 @@ def triangle_count(
             owners_c = g.partition.owner_of(corner_gid)
             order_c = np.argsort(owners_c, kind="stable")
             counts_c = np.bincount(owners_c, minlength=comm.size)
-            send_c = np.split(corner_gid[order_c], np.cumsum(counts_c)[:-1])
-            got, _ = comm.alltoallv(send_c)
+            got, _ = comm.alltoallv_flat(corner_gid[order_c], counts_c)
             if len(got):
                 lids = g.map.get(got)
                 np.add.at(tri_per_vertex, lids, 1)

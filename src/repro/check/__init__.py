@@ -15,7 +15,12 @@ Python sources with :mod:`ast` before any code runs:
 * **backend portability** — no closures, lambdas, or unpicklable values
   flow into ``run_spmd``/``AnalyticsEngine`` launches (:mod:`.picklecheck`,
   SPMD012; the dynamic companion is the launch-time
-  ``find_unpicklable`` diagnostic in :mod:`repro.runtime.backends.base`).
+  ``find_unpicklable`` diagnostic in :mod:`repro.runtime.backends.base`);
+* **distribution state** — id-carrying values stay in their index space
+  (global/local/owner) and ghost-extended arrays are fresh when read,
+  via flow-sensitive abstract interpretation (:mod:`.distcheck`,
+  SPMD013–016 and the PERF001–003 performance rules; mechanical findings
+  carry autofixes applied by ``repro check --fix``).
 
 Rules (each suppressible with ``# spmdlint: disable=SPMDxxx``):
 
@@ -43,6 +48,22 @@ SPMD011   conflicting transitive collective sequences on two paths to the
           same join point [--deep]
 SPMD012   closure/lambda/unpicklable value flows into an SPMD launch
           (fails at spawn on the procs/mpi backends)
+SPMD013   index-space confusion: a local id flows into ``map.get`` or a
+          global id indexes ``unmap``/a locally-allocated array
+          (interprocedural via parameter expectations in --deep)
+SPMD014   ghost slice of a ghost-extended array read after a local write
+          with no intervening halo exchange (stale ghosts)
+SPMD015   whole-array reduction over a ghost-extended array
+          (ghost copies double-counted; reduce ``x[:n_loc]``)
+SPMD016   collective reduction buffer whose shape differs across ranks at
+          its construction site (rank-derived or n_loc-sized)
+PERF001   loop-invariant collective inside an iteration loop
+          (auto-hoisted by ``--fix``)
+PERF002   object-list collective over ``np.split`` parts where
+          ``alltoallv_flat`` sends the same bytes without pickling
+          (flat-path substitution suggested via SARIF fixes)
+PERF003   per-iteration ndarray allocation feeding an exchange/collective
+          sink in a hot loop (``np.empty`` auto-hoisted by ``--fix``)
 ========  ==================================================================
 
 Use :func:`lint_paths` / :func:`deep_lint_paths` programmatically, or the
@@ -58,6 +79,8 @@ from .deep import (
     load_baseline,
     write_baseline,
 )
+from .distcheck import DIST_RULES, PERF_RULES
+from .fixer import apply_fixes, fix_files, fixable
 from .picklecheck import PORTABILITY_RULES
 from .racecheck import OWNERSHIP_RULES
 from .spmdlint import (
@@ -74,8 +97,9 @@ from .spmdlint import (
 )
 
 __all__ = ["Finding", "RULES", "SCHEDULE_RULES", "OWNERSHIP_RULES",
-           "DEEP_RULES", "PORTABILITY_RULES",
+           "DEEP_RULES", "PORTABILITY_RULES", "DIST_RULES", "PERF_RULES",
            "RULE_DOCS", "RULE_FIXES", "lint_source", "lint_file",
            "lint_paths", "deep_lint_paths",
            "load_baseline", "write_baseline", "apply_baseline",
-           "baseline_key", "suppression_hint"]
+           "baseline_key", "suppression_hint",
+           "apply_fixes", "fix_files", "fixable"]

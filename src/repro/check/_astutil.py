@@ -69,6 +69,11 @@ class Finding:
     function: str = "<module>"
     suppressed: bool = False
     baselined: bool = False
+    #: Optional mechanical edit (JSON-able dict, see .fixer): kind
+    #: "replace" (line/col span -> text) or "hoist" (move lines above a
+    #: loop); "apply" False marks suggestion-only fixes (SARIF surfaces
+    #: them, ``repro check --fix`` does not apply them).
+    fix: dict | None = None
 
     def format(self) -> str:
         tag = (" (suppressed)" if self.suppressed

@@ -52,6 +52,12 @@ from .spmdlint import (
     apply_suppressions,
     iter_python_files,
 )
+from .distcheck import (
+    DistTable,
+    build_dist_summaries,
+    dist_digest,
+    lint_distribution,
+)
 from .summaries import (
     SummaryTable,
     bind_args,
@@ -61,10 +67,31 @@ from .summaries import (
 
 __all__ = ["deep_lint_paths", "deep_lint_files",
            "load_baseline", "write_baseline", "apply_baseline",
-           "baseline_key"]
+           "baseline_key", "ruleset_digest"]
 
 #: Bumped whenever analyzer behavior changes: invalidates result caches.
-ANALYZER_VERSION = 1
+ANALYZER_VERSION = 2
+
+_RULESET_DIGEST: str | None = None
+
+
+def ruleset_digest() -> str:
+    """Content hash of the analyzer itself (every module in this package).
+
+    Folded into every cache key so that editing any rule — even without
+    remembering to bump :data:`ANALYZER_VERSION` — invalidates stale
+    cached findings.  Computed once per process.
+    """
+    global _RULESET_DIGEST
+    if _RULESET_DIGEST is None:
+        h = hashlib.sha256()
+        h.update(str(ANALYZER_VERSION).encode())
+        pkg = Path(__file__).resolve().parent
+        for src in sorted(pkg.glob("*.py")):
+            h.update(src.name.encode())
+            h.update(src.read_bytes())
+        _RULESET_DIGEST = h.hexdigest()
+    return _RULESET_DIGEST
 
 
 # ---------------------------------------------------------------------------
@@ -211,7 +238,8 @@ def _dedupe_key(f: Finding) -> tuple:
 
 
 def _deep_lint_module(mod: ModuleInfo, table: SummaryTable,
-                      select: frozenset[str]) -> list[Finding]:
+                      select: frozenset[str],
+                      dist_table: DistTable | None = None) -> list[Finding]:
     """Shallow + deep + portability findings for one parsed module."""
     findings: list[Finding] = []
     shallow_seen: set[tuple] = set()
@@ -226,6 +254,9 @@ def _deep_lint_module(mod: ModuleInfo, table: SummaryTable,
                         if _dedupe_key(f) not in shallow_seen)
     findings.extend(lint_ownership(mod.tree, str(mod.path), select))
     findings.extend(lint_portability(mod.tree, str(mod.path), select))
+    findings.extend(lint_distribution(mod.tree, str(mod.path), select,
+                                      source=mod.source, table=dist_table,
+                                      mod=mod))
     apply_suppressions(findings, mod.source)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
@@ -237,12 +268,13 @@ def _deep_lint_module(mod: ModuleInfo, table: SummaryTable,
 class ResultCache:
     """JSON file memoizing per-file deep findings.
 
-    Key: ``sha256(source) + summary-table digest + rule selection +
-    analyzer version``.  Because the digest covers interprocedural
-    *summaries* rather than raw bytes of other files, editing a comment in
-    one file leaves every other file's entry hot.  Entries not touched by
-    the current run are dropped on save, so the file cannot grow without
-    bound.
+    Key: ``sha256(source) + summary-table digests + rule selection +
+    ruleset digest (analyzer version + analyzer source hash)``.  Because
+    the digests cover interprocedural *summaries* rather than raw bytes of
+    other files, editing a comment in one file leaves every other file's
+    entry hot — while any edit to the analyzer itself misses everything.
+    Entries not touched by the current run are dropped on save, so the
+    file cannot grow without bound.
     """
 
     def __init__(self, path: Path):
@@ -254,7 +286,7 @@ class ResultCache:
         if self.path.exists():
             try:
                 data = json.loads(self.path.read_text())
-                if data.get("version") == ANALYZER_VERSION:
+                if data.get("version") == ruleset_digest():
                     self._entries = data.get("entries", {})
             except (json.JSONDecodeError, OSError):
                 self._entries = {}
@@ -265,7 +297,7 @@ class ResultCache:
         h.update(source.encode())
         h.update(digest.encode())
         h.update(",".join(sorted(select)).encode())
-        h.update(str(ANALYZER_VERSION).encode())
+        h.update(ruleset_digest().encode())
         return h.hexdigest()
 
     def get(self, key: str) -> list[Finding] | None:
@@ -283,7 +315,7 @@ class ResultCache:
 
     def save(self) -> None:
         payload = {
-            "version": ANALYZER_VERSION,
+            "version": ruleset_digest(),
             "entries": {k: v for k, v in self._entries.items()
                         if k in self._touched},
         }
@@ -342,7 +374,8 @@ def deep_lint_files(files: Sequence[Path],
     selected = frozenset(select) if select is not None else frozenset(RULES)
     graph: CallGraph = build_callgraph(files)
     table = build_summaries(graph)
-    digest = summaries_digest(table)
+    dist_table = build_dist_summaries(graph)
+    digest = summaries_digest(table) + dist_digest(dist_table)
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(Path(cache))
     findings: list[Finding] = []
@@ -355,7 +388,7 @@ def deep_lint_files(files: Sequence[Path],
         if cached is not None:
             findings.extend(cached)
             continue
-        result = _deep_lint_module(mod, table, selected)
+        result = _deep_lint_module(mod, table, selected, dist_table)
         if cache is not None:
             cache.put(key, result)
         findings.extend(result)

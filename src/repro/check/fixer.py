@@ -1,0 +1,134 @@
+"""Minimal, idempotent autofixes for mechanical lint findings.
+
+``repro check --fix`` applies the text edits attached to findings by the
+analysis passes (``Finding.fix``).  Two edit kinds exist:
+
+``replace``
+    substitute one single-line span (``line``/``col``/``end_col``,
+    0-based character offsets) with ``text`` — e.g. the SPMD013
+    ``unmap[...]`` wrap;
+``hoist``
+    move whole source lines (``lines = [start, end]``, 1-based,
+    inclusive) to just above the loop header at line ``before``,
+    dedented by ``dedent`` columns — e.g. PERF001 loop-invariant
+    collectives and PERF003 ``np.empty`` buffer allocations.
+
+Fixes with ``apply: False`` are suggestions (PERF002 flat-path
+substitutions): they are surfaced through SARIF but never applied,
+because applying them mechanically would require liveness the analyzer
+does not prove.
+
+The applier is conservative by construction: at most one edit touches
+any source line per pass (later claimants are skipped and re-surface on
+the next run), suppressed/baselined findings are never fixed, and the
+whole pipeline is idempotent — fixed sources re-lint clean for the
+mechanical rules, and a second ``--fix`` run is a no-op.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ._astutil import Finding
+
+__all__ = ["apply_fixes", "fix_files", "fixable"]
+
+
+def fixable(findings: Iterable[Finding]) -> list[Finding]:
+    """The findings ``--fix`` would act on (mechanical, not muted)."""
+    return [f for f in findings
+            if f.fix is not None and f.fix.get("apply")
+            and not f.suppressed and not f.baselined]
+
+
+def _dedent(line: str, n: int) -> str:
+    removed = 0
+    while removed < n and line[:1] == " ":
+        line = line[1:]
+        removed += 1
+    return line
+
+
+def apply_fixes(source: str,
+                findings: Sequence[Finding]) -> tuple[str, int]:
+    """Apply every applicable fix to one file's source.
+
+    Returns ``(new_source, n_applied)``.  Overlapping edits are resolved
+    by line claims: the first fix (in line order) wins, later claimants
+    are skipped and will be offered again on a subsequent run.
+    """
+    lines = source.splitlines(keepends=True)
+    n_lines = len(lines)
+    claimed: set[int] = set()
+    replacements: dict[int, tuple[int, int, str]] = {}
+    deletions: set[int] = set()
+    insertions: dict[int, list[str]] = defaultdict(list)
+    applied = 0
+
+    for f in sorted(fixable(findings), key=lambda f: (f.line, f.col)):
+        fix = f.fix
+        if fix["kind"] == "replace":
+            line = fix["line"]
+            if line in claimed or not 1 <= line <= n_lines:
+                continue
+            text = lines[line - 1]
+            col, end_col = fix["col"], fix["end_col"]
+            if end_col > len(text.rstrip("\r\n")):
+                continue  # the file drifted since analysis
+            claimed.add(line)
+            replacements[line] = (col, end_col, fix["text"])
+            applied += 1
+        elif fix["kind"] == "hoist":
+            start, end = fix["lines"]
+            before = fix["before"]
+            if not (1 <= start <= end <= n_lines and 1 <= before <= start):
+                continue
+            if any(ln in claimed for ln in range(start, end + 1)):
+                continue
+            claimed.update(range(start, end + 1))
+            block = [_dedent(lines[i - 1], max(0, fix.get("dedent", 0)))
+                     for i in range(start, end + 1)]
+            insertions[before].extend(block)
+            deletions.update(range(start, end + 1))
+            applied += 1
+
+    if not applied:
+        return source, 0
+    out: list[str] = []
+    for i, line in enumerate(lines, start=1):
+        out.extend(insertions.get(i, ()))
+        if i in deletions:
+            continue
+        if i in replacements:
+            col, end_col, text = replacements[i]
+            line = line[:col] + text + line[end_col:]
+        out.append(line)
+    return "".join(out), applied
+
+
+def fix_files(findings: Iterable[Finding],
+              dry_run: bool = False) -> dict[str, int]:
+    """Apply fixes file-by-file; returns ``{path: n_applied}``.
+
+    With ``dry_run`` nothing is written — the counts report what *would*
+    change (the ``--fix --check`` CI drift gate).
+    """
+    by_path: dict[str, list[Finding]] = defaultdict(list)
+    for f in findings:
+        if f.fix is not None:
+            by_path[f.path].append(f)
+    changed: dict[str, int] = {}
+    for path, file_findings in sorted(by_path.items()):
+        p = Path(path)
+        try:
+            source = p.read_text()
+        except OSError:
+            continue
+        new_source, applied = apply_fixes(source, file_findings)
+        if applied and new_source != source:
+            if not dry_run:
+                p.write_text(new_source)
+            changed[path] = applied
+    return changed

@@ -49,11 +49,12 @@ from ._astutil import (
     _target_names,
     _walk_in_scope,
 )
+from .distcheck import DIST_RULES, PERF_RULES, lint_distribution
 from .picklecheck import PORTABILITY_RULES
 from .racecheck import OWNERSHIP_RULES, lint_ownership
 
 __all__ = ["Finding", "RULES", "SCHEDULE_RULES", "OWNERSHIP_RULES",
-           "DEEP_RULES", "PORTABILITY_RULES",
+           "DEEP_RULES", "PORTABILITY_RULES", "DIST_RULES", "PERF_RULES",
            "RULE_DOCS", "RULE_FIXES", "lint_source", "lint_file",
            "lint_paths", "iter_python_files",
            "render_text", "render_json", "render_github", "render_sarif",
@@ -91,9 +92,11 @@ DEEP_RULES: dict[str, str] = {
 
 #: Every rule the ``repro check`` pass knows: schedule rules (this module),
 #: buffer-ownership rules (:mod:`.racecheck`), interprocedural rules
-#: (:mod:`.deep`), and backend-portability rules (:mod:`.picklecheck`).
+#: (:mod:`.deep`), backend-portability rules (:mod:`.picklecheck`), and
+#: distribution-state + perf rules (:mod:`.distcheck`).
 RULES: dict[str, str] = {**SCHEDULE_RULES, **OWNERSHIP_RULES,
-                         **DEEP_RULES, **PORTABILITY_RULES}
+                         **DEEP_RULES, **PORTABILITY_RULES,
+                         **DIST_RULES, **PERF_RULES}
 
 #: Where each rule is documented (repo-relative anchor into DESIGN.md).
 RULE_DOCS: dict[str, str] = {
@@ -103,6 +106,8 @@ RULE_DOCS: dict[str, str] = {
        for rule in OWNERSHIP_RULES},
     **{rule: "DESIGN.md#13-whole-program-spmd-analysis"
        for rule in {**DEEP_RULES, **PORTABILITY_RULES}},
+    **{rule: "DESIGN.md#14-distribution-state-abstract-interpretation"
+       for rule in {**DIST_RULES, **PERF_RULES}},
 }
 
 #: One-line fix advice per rule (rendered into SARIF rule help and README).
@@ -129,6 +134,21 @@ RULE_FIXES: dict[str, str] = {
                "sequence, or hoist the collectives above the branch",
     "SPMD012": "move the callable to module level and pass data through "
                "picklable arguments (see DESIGN.md §12 fn specs)",
+    "SPMD013": "translate between index spaces at the boundary: "
+               "map.get(gids) for global -> local, unmap[lids] for "
+               "local -> global (--fix wraps the mechanical case)",
+    "SPMD014": "insert a halo exchange between the local write and the "
+               "ghost read (or read before writing)",
+    "SPMD015": "reduce the owned slice x[:n_loc] (ghosts are counted by "
+               "their owner rank)",
+    "SPMD016": "size/type the reduction buffer from a replicated value "
+               "(n_global, comm.size, an allreduce result)",
+    "PERF001": "hoist the collective above the loop (--fix does this "
+               "mechanically when the result name is loop-private)",
+    "PERF002": "send the un-split payload through alltoallv_flat(payload, "
+               "counts) or a persistent AlltoallvPlan",
+    "PERF003": "allocate the buffer once before the loop and reuse it "
+               "(--fix hoists np.empty allocations)",
 }
 
 
@@ -543,6 +563,7 @@ def lint_source(source: str, path: str = "<string>",
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             findings.extend(_FunctionLinter(node, path, selected).run())
     findings.extend(lint_ownership(tree, path, selected))
+    findings.extend(lint_distribution(tree, path, selected, source=source))
     apply_suppressions(findings, source)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
@@ -682,6 +703,28 @@ def render_sarif(findings: Sequence[Finding]) -> str:
                     else "grandfathered by .spmdlint-baseline.json")
             result["suppressions"] = [
                 {"kind": kind, "justification": just}]
+        if f.fix is not None and f.fix.get("kind") == "replace":
+            # Single-region text edits (SPMD013 unmap-wraps, PERF002
+            # flat-path substitutions) surface as SARIF fixes; code
+            # scanning renders them as suggested changes.  Hoist fixes
+            # need the moved source text and are applied by ``--fix``.
+            result["fixes"] = [{
+                "description": {
+                    "text": RULE_FIXES.get(f.rule, "apply the edit")},
+                "artifactChanges": [{
+                    "artifactLocation": {
+                        "uri": str(f.path).replace("\\", "/"),
+                        "uriBaseId": "SRCROOT"},
+                    "replacements": [{
+                        "deletedRegion": {
+                            "startLine": f.fix["line"],
+                            "startColumn": f.fix["col"] + 1,
+                            "endLine": f.fix["line"],
+                            "endColumn": f.fix["end_col"] + 1},
+                        "insertedContent": {"text": f.fix["text"]},
+                    }],
+                }],
+            }]
         results.append(result)
     payload = {
         "$schema": SARIF_SCHEMA,

@@ -600,6 +600,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         load_baseline,
         write_baseline,
     )
+    from .check.fixer import fix_files, fixable
     from .check.spmdlint import (
         lint_paths,
         render_github,
@@ -617,10 +618,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
                   f"(known: {', '.join(sorted(RULES))})", file=sys.stderr)
             return 2
         select = args.select
-    if args.deep:
-        findings = deep_lint_paths(paths, select=select, cache=args.cache)
-    else:
-        findings = lint_paths(paths, select=select)
+
+    def lint() -> list:
+        if args.deep:
+            return deep_lint_paths(paths, select=select, cache=args.cache)
+        return lint_paths(paths, select=select)
+
+    findings = lint()
     if args.write_baseline is not None:
         n = write_baseline(args.write_baseline, findings)
         print(f"spmdlint: wrote {n} grandfathered finding(s) to "
@@ -632,6 +636,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"warning: baseline {baseline_path} not found; "
                   f"treating every finding as new", file=sys.stderr)
+    if args.fix:
+        dry = args.fix_check
+        changed = fix_files(fixable(findings), dry_run=dry)
+        n_edits = sum(changed.values())
+        if dry:
+            for path, n in sorted(changed.items()):
+                print(f"spmdlint: would fix {n} finding(s) in {path}",
+                      file=sys.stderr)
+            if n_edits:
+                print(f"spmdlint: --fix would change {len(changed)} "
+                      f"file(s); run `repro check --fix` and commit",
+                      file=sys.stderr)
+                return 1
+        elif n_edits:
+            for path, n in sorted(changed.items()):
+                print(f"spmdlint: fixed {n} finding(s) in {path}",
+                      file=sys.stderr)
+            # Re-lint so the report (and strict exit) reflects the
+            # post-fix sources; mechanical findings must be gone.
+            findings = lint()
+            if args.baseline is not None and Path(args.baseline).exists():
+                apply_baseline(findings, load_baseline(args.baseline))
     if args.format == "json":
         print(render_json(findings))
     elif args.format == "sarif":
@@ -798,7 +824,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "baseline and continue")
     k.add_argument("--cache", type=Path, default=None, metavar="FILE",
                    help="content-hash result cache for --deep (keyed on "
-                        "file hash + summary-table digest)")
+                        "file hash + summary-table digests + analyzer "
+                        "ruleset digest)")
+    k.add_argument("--fix", action="store_true",
+                   help="apply the mechanical autofixes attached to "
+                        "findings (SPMD013 unmap-wrap, PERF001/PERF003 "
+                        "hoists), then re-lint and report the rest")
+    k.add_argument("--check", "--fix-check", dest="fix_check",
+                   action="store_true",
+                   help="with --fix: dry run; exit 1 if --fix would "
+                        "change any file (the CI drift gate)")
     k.set_defaults(fn=_cmd_check)
 
     return p

@@ -42,13 +42,18 @@ class BuildStats:
         return self.exchange_s + self.convert_s
 
 
-def _grouped_send(owners: np.ndarray, nparts: int,
-                  *columns: np.ndarray) -> list[list[np.ndarray]]:
-    """Group each column array by destination rank (stable within a rank)."""
+def _grouped_send(
+    owners: np.ndarray, nparts: int, *columns: np.ndarray,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Order each column by destination rank (stable within a rank).
+
+    Returns ``(ordered_columns, counts)``, ready for
+    ``comm.alltoallv_flat(col, counts)`` — the zero-copy path; the old
+    ``np.split`` + object ``alltoallv`` form pickled every part (PERF002).
+    """
     order = np.argsort(owners, kind="stable")
     counts = np.bincount(owners, minlength=nparts)
-    splits = np.cumsum(counts)[:-1]
-    return [np.split(col[order], splits) for col in columns]
+    return [col[order] for col in columns], counts
 
 
 def build_dist_graph_with_stats(
@@ -97,23 +102,24 @@ def build_dist_graph_with_stats(
         # Out-edges: redistribute by owner of the source endpoint.
         src, dst = edges_chunk[:, 0], edges_chunk[:, 1]
         owners = partition.owner_of(src)
-        send_src, send_dst = _grouped_send(owners, p, src, dst)
-        out_src_g, _ = comm.alltoallv(send_src)
-        out_dst_g, _ = comm.alltoallv(send_dst)
+        (send_src, send_dst), counts_out = _grouped_send(owners, p, src, dst)
+        out_src_g, _ = comm.alltoallv_flat(send_src, counts_out)
+        out_dst_g, _ = comm.alltoallv_flat(send_dst, counts_out)
 
         # In-edges: reverse the order of edges and redistribute by the owner
         # of the (original) destination endpoint.
         owners_in = partition.owner_of(dst)
-        send_dst_in, send_src_in = _grouped_send(owners_in, p, dst, src)
-        in_dst_g, _ = comm.alltoallv(send_dst_in)
-        in_src_g, _ = comm.alltoallv(send_src_in)
+        (send_dst_in, send_src_in), counts_in = _grouped_send(
+            owners_in, p, dst, src)
+        in_dst_g, _ = comm.alltoallv_flat(send_dst_in, counts_in)
+        in_src_g, _ = comm.alltoallv_flat(send_src_in, counts_in)
 
         out_vals = in_vals = None
         if edge_values is not None:
-            (send_v_out,) = _grouped_send(owners, p, edge_values)
-            out_vals, _ = comm.alltoallv(send_v_out)
-            (send_v_in,) = _grouped_send(owners_in, p, edge_values)
-            in_vals, _ = comm.alltoallv(send_v_in)
+            (send_v_out,), _ = _grouped_send(owners, p, edge_values)
+            out_vals, _ = comm.alltoallv_flat(send_v_out, counts_out)
+            (send_v_in,), _ = _grouped_send(owners_in, p, edge_values)
+            in_vals, _ = comm.alltoallv_flat(send_v_in, counts_in)
         exchange_s = time.perf_counter() - t0
 
     with comm.region("build.convert"):
@@ -227,9 +233,9 @@ def build_dist_graph_from_file(
             chunk = read_edge_range(path, lo, n_here, width)
             src, dst = chunk[:, 0], chunk[:, 1]
             owners = partition.owner_of(src)
-            send_src, send_dst = _grouped_send(owners, p, src, dst)
-            o_s, _ = comm.alltoallv(send_src)
-            o_d, _ = comm.alltoallv(send_dst)
+            (send_src, send_dst), counts_b = _grouped_send(owners, p, src, dst)
+            o_s, _ = comm.alltoallv_flat(send_src, counts_b)
+            o_d, _ = comm.alltoallv_flat(send_dst, counts_b)
             out_src_parts.append(o_s)
             out_dst_parts.append(o_d)
 

@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Seeded SPMD013 across a call boundary.
+
+``lookup_owned`` (deep_helpers) is clean in isolation — its ``gids``
+parameter is used as global ids via ``map.get``.  The defect is at this
+call site, which binds already-translated *local* ids to it.
+"""
+
+from deep_helpers import lookup_owned
+
+
+def cross_module_confusion(g, gids):
+    lids = g.map.get(gids)
+    return lookup_owned(g, lids)

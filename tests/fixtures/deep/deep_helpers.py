@@ -12,3 +12,8 @@ def sync_all(world):
 def mean_of(world, values):
     total = world.comm.allreduce(sum(values), "sum")
     return total / world.comm.size
+
+
+def lookup_owned(g, gids):
+    lids = g.map.get(gids)
+    return lids

@@ -1,0 +1,16 @@
+# ruff: noqa
+"""Seeded violation: loop-invariant collective (PERF001).
+
+``seed`` never changes inside the loop, yet every iteration pays a
+world-synchronous allreduce for the same value.
+"""
+
+from repro.runtime import SUM
+
+
+def fanout(comm, rounds, seed):
+    out = []
+    for _ in range(rounds):
+        norm = comm.allreduce(seed, SUM)
+        out.append(norm)
+    return out

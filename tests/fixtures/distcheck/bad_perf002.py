@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Seeded violation: object collective on np.split parts (PERF002).
+
+``np.split(payload, np.cumsum(counts)[:-1])`` + object ``alltoallv``
+pickles every part; ``alltoallv_flat(payload, counts)`` ships the same
+bytes zero-copy in the same source-rank order.
+"""
+import numpy as np
+
+
+def route(comm, payload, counts):
+    send = np.split(payload, np.cumsum(counts)[:-1])
+    data, rcounts = comm.alltoallv(send)
+    return data, rcounts

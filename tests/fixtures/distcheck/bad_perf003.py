@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Seeded violation: per-iteration buffer allocation (PERF003).
+
+The exchange buffer has a loop-invariant shape but is reallocated every
+iteration of the communication loop; hoist it and reuse.
+"""
+import numpy as np
+
+
+def pump(comm, halo, vals, rounds, n_total):
+    for _ in range(rounds):
+        buf = np.empty(n_total)
+        buf[: len(vals)] = vals
+        halo.exchange(buf)

@@ -1,0 +1,19 @@
+# ruff: noqa
+"""Seeded violation: index-space confusion (SPMD013).
+
+``map.get`` translates *global* ids to local ids, and ``unmap`` is
+indexed by *local* ids.  Feeding values that already crossed the bridge
+back into the same bridge silently returns garbage rows.
+"""
+import numpy as np
+
+
+def double_translate(g, gids):
+    lids = g.map.get(gids)
+    owners = g.map.get(lids)  # local ids fed back into the global->local map
+    return owners
+
+
+def wrong_direction(g, gids):
+    names = g.unmap[gids]  # unmap is indexed by local ids
+    return names

@@ -1,0 +1,15 @@
+# ruff: noqa
+"""Seeded violation: stale-ghost read (SPMD014).
+
+The ghost slice ``x[n_loc:]`` is read after a local write with no halo
+exchange in between: the ghost entries are stale copies of values that
+live on remote owner ranks.
+"""
+import numpy as np
+
+
+def write_then_peek(g, halo, n_loc, n_total, lids, vals):
+    x = np.zeros(n_total)
+    x[lids] = vals
+    ghost_view = x[n_loc:]  # ghosts were never refreshed after the write
+    return ghost_view

@@ -1,0 +1,19 @@
+# ruff: noqa
+"""Seeded violation: reduction over a ghost-extended array (SPMD015).
+
+``deg`` has ``n_total = n_loc + n_gst`` entries; summing all of them
+counts every ghost vertex twice globally (once here, once on its owner).
+"""
+import numpy as np
+
+
+def ghost_inclusive_total(n_total, vals):
+    deg = np.zeros(n_total)
+    deg[: len(vals)] = vals
+    return deg.sum()  # ghost copies are double-counted
+
+
+def ghost_inclusive_mean(n_total, vals):
+    deg = np.zeros(n_total)
+    deg[: len(vals)] = vals
+    return np.mean(deg)

@@ -1,0 +1,20 @@
+# ruff: noqa
+"""Seeded violation: per-rank collective buffer shape (SPMD016).
+
+Element-wise reduction requires identical buffers on every rank; both
+functions build the reduction input with a length that differs per rank.
+"""
+import numpy as np
+
+from repro.runtime import SUM
+
+
+def owner_sized_reduce(comm, n_loc, vals):
+    buf = np.zeros(n_loc)  # n_loc differs across ranks
+    buf[: len(vals)] = vals
+    return comm.allreduce(buf, SUM)
+
+
+def rank_sized_reduce(comm):
+    mine = np.ones(comm.rank + 1)  # shape depends on the rank id
+    return comm.allreduce(mine, SUM)

@@ -1,0 +1,15 @@
+# ruff: noqa
+"""Near-miss twin of bad_perf001: the collective's input changes per
+iteration, so it is genuinely loop-variant and must stay inside.
+"""
+
+from repro.runtime import SUM
+
+
+def running_total(comm, rounds, chunk):
+    total = 0.0
+    for _ in range(rounds):
+        part = comm.allreduce(chunk, SUM)
+        chunk = chunk * 0.5
+        total = total + part
+    return total

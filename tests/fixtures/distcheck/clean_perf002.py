@@ -1,0 +1,12 @@
+# ruff: noqa
+"""Near-miss twin of bad_perf002: a genuine object payload.
+
+The per-destination parts are ragged Python-object lists that never came
+from ``np.split`` of one flat array, so no flat-buffer equivalent exists.
+"""
+
+
+def object_route(comm, items, size):
+    send = [items[r::size] for r in range(size)]
+    data, counts = comm.alltoallv(send)
+    return data, counts

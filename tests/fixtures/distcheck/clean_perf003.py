@@ -1,0 +1,15 @@
+# ruff: noqa
+"""Near-miss twin of bad_perf003: the buffer's size is loop-carried.
+
+Each iteration genuinely needs a different allocation, so there is
+nothing to hoist.
+"""
+import numpy as np
+
+
+def growing(comm, halo, rounds):
+    n = 1
+    for _ in range(rounds):
+        buf = np.empty(n)
+        halo.exchange(buf)
+        n = n * 2

@@ -1,0 +1,19 @@
+# ruff: noqa
+"""Near-miss twin of bad_spmd013: every bridge crossing is well-typed.
+
+Global ids go through ``map.get``, local ids index ``unmap``, and the
+round trip composes the two in the right order.
+"""
+import numpy as np
+
+
+def round_trip(g, gids):
+    lids = g.map.get(gids)
+    back = g.unmap[lids]
+    return g.map.get(back)
+
+
+def local_lookup(g, lids):
+    gids = g.unmap[lids]
+    owners = g.partition.owner_of(gids)
+    return owners

@@ -1,0 +1,15 @@
+# ruff: noqa
+"""Near-miss twin of bad_spmd014: the halo exchange makes the read fresh.
+
+Identical write/read pair, but ``halo.exchange`` runs between them, so
+the ghost slice holds current owner values when it is read.
+"""
+import numpy as np
+
+
+def write_exchange_read(g, halo, n_loc, n_total, lids, vals):
+    x = np.zeros(n_total)
+    x[lids] = vals
+    halo.exchange(x)
+    ghost_view = x[n_loc:]
+    return ghost_view

@@ -1,0 +1,19 @@
+# ruff: noqa
+"""Near-miss twin of bad_spmd015: only the owned slice is reduced.
+
+Same ghost-extended allocation, but the reduction folds ``deg[:n_loc]``
+— each vertex is counted exactly once, by its owner.
+"""
+import numpy as np
+
+
+def owned_total(n_loc, n_total, vals):
+    deg = np.zeros(n_total)
+    deg[: len(vals)] = vals
+    return deg[:n_loc].sum()
+
+
+def owned_mean(n_loc, n_total, vals):
+    deg = np.zeros(n_total)
+    deg[: len(vals)] = vals
+    return np.mean(deg[:n_loc])

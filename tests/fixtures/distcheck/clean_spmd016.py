@@ -1,0 +1,20 @@
+# ruff: noqa
+"""Near-miss twin of bad_spmd016: the reduction buffer is replicated.
+
+``n_global`` is the same on every rank, so the element-wise reduction
+sees identical shapes everywhere; the scalar variant is always safe.
+"""
+import numpy as np
+
+from repro.runtime import SUM
+
+
+def replicated_reduce(comm, n_global, vals):
+    buf = np.zeros(n_global)
+    buf[: len(vals)] += vals
+    return comm.allreduce(buf, SUM)
+
+
+def scalar_reduce(comm, vals):
+    part = float(sum(vals))
+    return comm.allreduce(part, SUM)

@@ -17,13 +17,14 @@ import pytest
 from repro.check import deep_lint_paths, lint_file
 
 FIXTURES = Path(__file__).parent / "fixtures"
-SHALLOW_CORPORA = ("spmdlint", "racecheck")
+SHALLOW_CORPORA = ("spmdlint", "racecheck", "distcheck")
 
 
 def _rule_of(path: Path) -> str | None:
-    """Seeded rule id from a ``bad_spmdNNN*`` name; None for fixtures with
-    descriptive names (those assert only that *something* fires)."""
-    m = re.match(r"bad_(spmd\d+)$", path.stem)
+    """Seeded rule id from a ``bad_spmdNNN``/``bad_perfNNN`` name; None for
+    fixtures with descriptive names (those assert only that *something*
+    fires)."""
+    m = re.match(r"bad_((?:spmd|perf)\d+)$", path.stem)
     return m.group(1).upper() if m else None
 
 
@@ -38,7 +39,7 @@ def _corpus(kind: str, pattern: str) -> list[Path]:
 # ---------------------------------------------------------------------------
 @pytest.mark.parametrize(
     "fixture",
-    [p for kind in SHALLOW_CORPORA for p in _corpus(kind, "bad_spmd*.py")],
+    [p for kind in SHALLOW_CORPORA for p in _corpus(kind, "bad_*.py")],
     ids=lambda p: f"{p.parent.name}/{p.name}")
 def test_bad_fixture_fires_its_seeded_rule(fixture):
     findings = [f for f in lint_file(fixture) if not f.suppressed]

@@ -10,7 +10,9 @@ import pytest
 import repro
 from repro.check import (
     DEEP_RULES,
+    DIST_RULES,
     OWNERSHIP_RULES,
+    PERF_RULES,
     PORTABILITY_RULES,
     RULES,
     SCHEDULE_RULES,
@@ -29,7 +31,8 @@ def unsuppressed(findings):
 
 def test_rule_catalog_is_partitioned():
     families = [set(SCHEDULE_RULES), set(OWNERSHIP_RULES),
-                set(DEEP_RULES), set(PORTABILITY_RULES)]
+                set(DEEP_RULES), set(PORTABILITY_RULES),
+                set(DIST_RULES), set(PERF_RULES)]
     assert set(RULES) == set().union(*families)
     for i, a in enumerate(families):
         for b in families[i + 1:]:
