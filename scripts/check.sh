@@ -3,9 +3,9 @@
 # correctness passes (shallow strict + whole-program --deep strict against
 # the checked-in baseline), the seeded-violation fixture corpora (run as
 # the parametrized pytest module tests/test_check_corpus.py), the runtime
-# race fixtures, the comm microbenchmark smoke guard (fails on >2x speedup
-# regression vs the recorded baseline), and the tier-1 suite twice
-# (verifier on; then buffer sanitizer on as well).
+# race fixtures, one smoke run per versioned benchmarks/BENCH_*.json
+# baseline (fails on ratio regression vs the recorded baseline), and the
+# tier-1 suite twice (verifier on; then buffer sanitizer on as well).
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
@@ -61,14 +61,20 @@ for script in tests/fixtures/racecheck/race_*.py; do
     PYTHONPATH=src python "$script"
 done
 
-echo "== comm microbenchmark smoke (persistent collectives) =="
-PYTHONPATH=src python benchmarks/bench_comm.py --smoke
-
-echo "== stream microbenchmark smoke (incremental analytics) =="
-PYTHONPATH=src python benchmarks/bench_stream.py --smoke
-
-echo "== backend microbenchmark smoke (threads vs procs ratios) =="
-PYTHONPATH=src python benchmarks/bench_backends.py --smoke
+# Every versioned baseline benchmarks/BENCH_<name>.json is guarded by its
+# bench's --smoke mode (small sizes, load-invariant ratios vs the recorded
+# baseline).  Adding a baseline file automatically adds its smoke run here.
+for baseline in benchmarks/BENCH_*.json; do
+    name=$(basename "$baseline" .json)
+    name=${name#BENCH_}
+    bench="benchmarks/bench_${name}.py"
+    if [ ! -f "$bench" ]; then
+        echo "FAIL: $baseline has no matching $bench" >&2
+        exit 1
+    fi
+    echo "== bench smoke: $bench (guards $baseline) =="
+    PYTHONPATH=src python "$bench" --smoke
+done
 
 echo "== pytest (tier 1, collective-schedule verifier on) =="
 PYTHONPATH=src python -m pytest -x -q "$@"

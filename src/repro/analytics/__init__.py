@@ -32,6 +32,13 @@ from .closeness import ClosenessResult, closeness_centrality
 from .common import NOT_VISITED, QUEUED, combined_adjacency, global_max_degree_vertex
 from .delta_stepping import DeltaSteppingResult, delta_stepping
 from .exchange import HaloExchange
+from .frontier2d import (
+    Frontier2D,
+    default_grid_weights,
+    grid_bfs_dirop,
+    grid_delta_stepping,
+    grid_wcc,
+)
 from .hits import HITSResult, hits
 from .harmonic import (
     HarmonicResult,
@@ -44,7 +51,7 @@ from .kcore_exact import ExactKCoreResult, exact_kcore
 from .label_propagation import LabelPropagationResult, label_propagation
 from .pagerank import PageRankResult, pagerank
 from .scc import SCCResult, largest_scc, scc
-from .sssp import SSSPResult, default_weights, sssp
+from .sssp import SSSPResult, default_weights, hash_edge_weights, sssp
 from .triangles import TriangleResult, triangle_count
 from .validation import (
     validate_bfs_levels,
@@ -79,9 +86,15 @@ __all__ = [
     "exact_kcore",
     "ExactKCoreResult",
     "distributed_bfs_dirop",
+    "Frontier2D",
+    "grid_bfs_dirop",
+    "grid_wcc",
+    "grid_delta_stepping",
+    "default_grid_weights",
     "sssp",
     "SSSPResult",
     "default_weights",
+    "hash_edge_weights",
     "triangle_count",
     "TriangleResult",
     "estimate_diameter",

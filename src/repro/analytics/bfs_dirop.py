@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import segment_max, sorted_unique
-from ..graph.distgraph import DistGraph
+from ..graph.distgraph import DistGraph, GridGraph
 from ..runtime import SUM, Communicator
 from .bfs import _gather_ranges
 from .common import NOT_VISITED, QUEUED
@@ -35,7 +35,7 @@ __all__ = ["distributed_bfs_dirop"]
 
 def distributed_bfs_dirop(
     comm: Communicator,
-    g: DistGraph,
+    g: DistGraph | GridGraph,
     root_global: int,
     alpha: float = 15.0,
     beta: float = 20.0,
@@ -57,6 +57,13 @@ def distributed_bfs_dirop(
     -------
     Per-local-vertex levels, identical to the top-down kernel's output.
     """
+    if isinstance(g, GridGraph):
+        # 2-D checkerboard block: same heuristic, row/column-subgroup
+        # frontier exchanges instead of halo/alltoallv (lazy import; the
+        # grid kernels live beside the other frontier-idiom ports).
+        from .frontier2d import grid_bfs_dirop
+
+        return grid_bfs_dirop(comm, g, root_global, alpha=alpha, beta=beta)
     if not (0 <= root_global < g.n_global):
         raise ValueError("root out of range")
     if halo is None:

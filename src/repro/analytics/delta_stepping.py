@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import expand_rows
-from ..graph.distgraph import DistGraph
+from ..graph.distgraph import DistGraph, GridGraph
 from ..runtime import MIN, SUM, Communicator
 from .exchange import HaloExchange
 from .sssp import default_weights
@@ -44,7 +44,7 @@ class DeltaSteppingResult:
 
 def delta_stepping(
     comm: Communicator,
-    g: DistGraph,
+    g: DistGraph | GridGraph,
     root_global: int,
     delta: float | None = None,
     weights: np.ndarray | None = None,
@@ -68,6 +68,11 @@ def delta_stepping(
     Results are identical to :func:`repro.analytics.sssp.sssp` for the
     same weights (asserted by tests).
     """
+    if isinstance(g, GridGraph):
+        from .frontier2d import grid_delta_stepping
+
+        return grid_delta_stepping(comm, g, root_global, delta=delta,
+                                   weights=weights, max_rounds=max_rounds)
     if not (0 <= root_global < g.n_global):
         raise ValueError("root out of range")
     with comm.region("delta_stepping"):

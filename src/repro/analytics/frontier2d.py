@@ -1,0 +1,363 @@
+"""Communication-avoiding frontier kernels on the 2-D grid distribution.
+
+The 1-D kernels exchange frontier state with *all* ``p`` ranks (ghost halo
+exchanges and discovered-vertex ``alltoallv``).  On a
+:class:`~repro.graph.distgraph.GridGraph` every frontier phase instead runs
+two subgroup collectives of ``≈ √p`` participants each (Buluç & Madduri):
+
+1. **column gather** — each rank packs its owned chunk of the frontier
+   into a ``np.packbits`` bitmap (1 bit/vertex) and allgathers it over
+   ``comm.cols()``; unpacking the per-member segments yields the full
+   column-slice frontier every block in the column needs;
+2. **local expansion** — top-down scans the td CSR rows of frontier
+   sources, bottom-up scans the bu CSR rows of unvisited targets (same
+   direction-switch heuristic as :func:`~repro.analytics.bfs_dirop.
+   distributed_bfs_dirop`);
+3. **row reduce** — candidate targets are packed into a row-slice bitmap
+   and OR-combined with one ``allreduce(BOR)`` over ``comm.rows()``; every
+   row member learns the complete next frontier of its row slice and
+   slices out its own chunk.
+
+The wire format is identical in both directions — a packed bitmap column
+gather plus a packed bitmap row reduce per level — so the collective
+schedule never depends on the (replicated) direction decision.  WCC and
+delta-stepping SSSP reuse the same :class:`Frontier2D` plumbing with dense
+label/distance payloads instead of bitmaps.
+
+Results are bitwise-identical to the 1-D kernels (asserted by tests):
+levels, component labels, and shortest distances do not depend on the
+partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import expand_rows, segment_max, segment_min
+from ..graph.distgraph import GridGraph
+from ..runtime import BOR, MAXLOC, MIN, SUM, Communicator, ReduceOp
+from .bfs import _gather_ranges
+from .common import NOT_VISITED
+from .delta_stepping import DeltaSteppingResult
+from .sssp import hash_edge_weights
+from .wcc import WCCResult
+
+__all__ = ["Frontier2D", "grid_bfs_dirop", "grid_wcc",
+           "grid_delta_stepping", "default_grid_weights"]
+
+INF = np.inf
+
+
+class Frontier2D:
+    """Reusable row/column exchange plumbing for one :class:`GridGraph`.
+
+    Holds the (cached) grid sub-communicators and the preallocated
+    column-slice / row-slice buffers, so per-level work allocates nothing
+    beyond the packed wire payloads.  Idle ranks of a fallback grid hold
+    ``None`` sub-communicators and all methods degrade to empty no-ops —
+    but such ranks must still participate in the *world* collectives of
+    the kernels below, which they do because every kernel loop is driven
+    by ``comm.allreduce`` results.
+    """
+
+    def __init__(self, comm: Communicator, g: GridGraph):
+        part = g.partition
+        self.comm = comm
+        self.g = g
+        self.row_comm = comm.rows(part.grid_rows, part.grid_cols)
+        self.col_comm = comm.cols(part.grid_rows, part.grid_cols)
+        self._col_mask = np.zeros(g.n_col, dtype=bool)
+        self._empty_row = np.zeros(0, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def gather_frontier(self, own_mask: np.ndarray) -> np.ndarray:
+        """Column-slice frontier bitmap from every member's owned chunk.
+
+        Each member contributes ``ceil(n_own/8)`` bytes (``np.packbits``);
+        the concatenated segments unpack — in grid-row order, which *is*
+        column-slice order — into the shared column-mask buffer.
+        """
+        if self.col_comm is None:
+            return self._col_mask
+        data, counts = self.col_comm.allgatherv(np.packbits(own_mask))
+        out = self._col_mask
+        off = 0
+        byte_off = 0
+        for size, nbytes in zip(self.g.col_counts, counts):
+            size, nbytes = int(size), int(nbytes)
+            seg = np.unpackbits(data[byte_off:byte_off + nbytes], count=size)
+            out[off:off + size] = seg
+            off += size
+            byte_off += nbytes
+        return out
+
+    def reduce_candidates(self, cand: np.ndarray) -> np.ndarray:
+        """OR-combine row-slice candidate bitmaps across the grid row.
+
+        Packs to 1 bit/vertex, ``allreduce(BOR)`` over ``comm.rows()``,
+        unpacks; every member sees the union for the whole row slice.
+        """
+        if self.row_comm is None:
+            return self._empty_row
+        merged = self.row_comm.allreduce(np.packbits(cand), BOR)
+        return np.unpackbits(merged, count=self.g.n_row).astype(bool)
+
+    # ------------------------------------------------------------------
+    # dense payload variants (labels, distances)
+    # ------------------------------------------------------------------
+    def gather_values(self, own_values: np.ndarray) -> np.ndarray:
+        """Column-slice array of a per-owned-vertex array (dense gather)."""
+        if self.col_comm is None:
+            return own_values[:0]
+        data, _ = self.col_comm.allgatherv(own_values)
+        return data
+
+    def reduce_rows(self, row_values: np.ndarray, op: ReduceOp) -> np.ndarray:
+        """Element-wise ``op`` over the grid row's row-slice arrays."""
+        if self.row_comm is None:
+            return row_values
+        return self.row_comm.allreduce(row_values, op)
+
+
+def grid_bfs_dirop(
+    comm: Communicator,
+    g: GridGraph,
+    root_global: int,
+    alpha: float = 15.0,
+    beta: float = 20.0,
+    f2: Frontier2D | None = None,
+) -> np.ndarray:
+    """Direction-optimizing BFS on the 2-D grid distribution.
+
+    Same semantics and direction heuristic as
+    :func:`~repro.analytics.bfs_dirop.distributed_bfs_dirop`; returns the
+    per-*owned*-vertex level array (bitwise-equal to the 1-D result for
+    the same partition chunks).
+    """
+    if not (0 <= root_global < g.n_global):
+        raise ValueError("root out of range")
+    if f2 is None:
+        f2 = Frontier2D(comm, g)
+    n_own, own_lo, row_off = g.n_own, g.own_lo, g.own_row_off
+
+    status = np.full(n_own, NOT_VISITED, dtype=np.int64)
+    own_mask = np.zeros(n_own, dtype=bool)
+    visited_row = np.zeros(g.n_row, dtype=bool)
+    cand = np.zeros(g.n_row, dtype=bool)
+    if own_lo <= root_global < own_lo + n_own:
+        own_mask[root_global - own_lo] = True
+    if g.is_active and g.row_lo <= root_global < g.row_lo + g.n_row:
+        visited_row[root_global - g.row_lo] = True
+
+    deg_td = g.td_degrees()
+    level = 0
+    bottom_up = False
+    global_front = comm.allreduce(int(own_mask.sum()), SUM)
+
+    while global_front > 0:
+        status[own_mask] = level
+
+        # Column phase: packed-bitmap frontier gather (both directions).
+        col_mask = f2.gather_frontier(own_mask)
+
+        # Direction heuristic on replicated global counts, as in 1-D.
+        front_edges = comm.allreduce(int(deg_td[col_mask].sum()), SUM)
+        unvisited = comm.allreduce(
+            int(np.count_nonzero(status == NOT_VISITED)), SUM)
+        if not bottom_up and front_edges * alpha > max(unvisited, 1):
+            bottom_up = True
+        elif bottom_up and global_front < g.n_global / beta:
+            bottom_up = False
+
+        # Local expansion into row-slice candidates.
+        cand[:] = False
+        if bottom_up:
+            if g.m_block:
+                cand |= segment_max(
+                    g.bu_indexes, col_mask[g.bu_edges].astype(np.int8),
+                    empty_value=np.int8(0)).astype(bool)
+        else:
+            fr = np.flatnonzero(col_mask)
+            nbrs = _gather_ranges(g.td_edges, g.td_indexes[fr],
+                                  g.td_indexes[fr + 1])
+            cand[nbrs] = True
+        cand &= ~visited_row
+
+        # Row phase: packed-bitmap OR-reduce; every member sees the full
+        # next frontier of its row slice and keeps its own chunk.
+        row_all = f2.reduce_candidates(cand)
+        visited_row |= row_all
+        own_mask = row_all[row_off:row_off + n_own].copy()
+
+        level += 1
+        global_front = comm.allreduce(int(own_mask.sum()), SUM)
+
+    return status
+
+
+def grid_wcc(
+    comm: Communicator,
+    g: GridGraph,
+    max_color_iters: int = 10_000,
+) -> WCCResult:
+    """Weakly connected components on the grid (Multistep structure).
+
+    Needs a graph built with ``symmetrize=True`` so in-neighbor scans see
+    the undirected adjacency.  Labels are the canonical per-component
+    minimum global id, bitwise-equal to the 1-D :func:`~repro.analytics.
+    wcc.wcc` labels; the BFS phase captures the same giant component
+    (``n_color_iters`` may differ — the coloring sweep here is a plain
+    Bellman-style fixpoint).
+    """
+    if not g.symmetrized:
+        raise ValueError(
+            "grid_wcc needs a GridGraph built with symmetrize=True")
+    with comm.region("wcc2d"):
+        f2 = Frontier2D(comm, g)
+        n_own, own_lo, row_off = g.n_own, g.own_lo, g.own_row_off
+
+        # Total degree of owned vertices: the symmetrized bu in-degree of
+        # v, summed across the grid row, is exactly in(v) + out(v).
+        deg_row = f2.reduce_rows(g.bu_degrees().astype(np.int64), SUM)
+        deg_own = deg_row[row_off:row_off + n_own]
+        if n_own:
+            i = int(np.argmax(deg_own))
+            local_best = (int(deg_own[i]), int(own_lo + i))
+        else:
+            local_best = (-1, g.n_global)
+        pivot_deg, pivot = comm.allreduce(local_best, MAXLOC)
+
+        labels = np.arange(own_lo, own_lo + n_own, dtype=np.int64)
+        giant_label = -1
+        if pivot_deg > 0:
+            lev = grid_bfs_dirop(comm, g, int(pivot), f2=f2)
+            visited = lev >= 0
+            local_min = int(labels[visited].min()) if visited.any() \
+                else g.n_global
+            giant_label = int(comm.allreduce(local_min, MIN))
+            labels[visited] = giant_label
+
+        # Coloring: min-label fixpoint (column gather + row MIN-reduce).
+        n_iters = 0
+        while n_iters < max_color_iters:
+            labels_col = f2.gather_values(labels)
+            if g.m_block:
+                cand = segment_min(g.bu_indexes, labels_col[g.bu_edges],
+                                   empty_value=np.int64(g.n_global))
+            else:
+                cand = np.full(g.n_row, g.n_global, dtype=np.int64)
+            all_row = f2.reduce_rows(cand, MIN)
+            new_labels = np.minimum(labels, all_row[row_off:row_off + n_own])
+            changed = comm.allreduce(
+                int(np.count_nonzero(new_labels != labels)), SUM)
+            if changed == 0:
+                break
+            labels = new_labels
+            n_iters += 1
+
+        return WCCResult(labels=labels, n_color_iters=n_iters,
+                         giant_label=giant_label)
+
+
+def default_grid_weights(g: GridGraph) -> np.ndarray:
+    """Deterministic hash weights per bu-CSR block edge.
+
+    Same :func:`~repro.analytics.sssp.hash_edge_weights` hash of global
+    endpoint ids as the 1-D default, so the weight of every edge is
+    identical across 1-D and 2-D runs.
+    """
+    dst_g = g.row_lo + expand_rows(g.bu_indexes)
+    src_g = g.col_unmap[g.bu_edges]
+    return hash_edge_weights(src_g, dst_g)
+
+
+def grid_delta_stepping(
+    comm: Communicator,
+    g: GridGraph,
+    root_global: int,
+    delta: float | None = None,
+    weights: np.ndarray | None = None,
+    max_rounds: int = 100_000,
+) -> DeltaSteppingResult:
+    """Delta-stepping SSSP on the grid distribution.
+
+    Same bucket schedule as :func:`~repro.analytics.delta_stepping.
+    delta_stepping`; each relaxation round gathers the column slice's
+    current distances (dense float64) and MIN-reduces tentative target
+    distances along the row.  Final distances are bitwise-equal to the
+    1-D kernels for the same weights.
+    """
+    if not (0 <= root_global < g.n_global):
+        raise ValueError("root out of range")
+    with comm.region("delta_stepping2d"):
+        f2 = Frontier2D(comm, g)
+        n_own, own_lo, row_off = g.n_own, g.own_lo, g.own_row_off
+
+        if weights is None:
+            weights = (g.bu_values if g.bu_values is not None
+                       else default_grid_weights(g))
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != g.bu_edges.shape:
+            raise ValueError("weights must align with g.bu_edges")
+        if len(weights) and weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        if delta is None:
+            total = comm.allreduce(float(weights.sum()), SUM)
+            count = comm.allreduce(len(weights), SUM)
+            delta = (total / count) if count else 1.0
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+
+        dist = np.full(n_own, INF, dtype=np.float64)
+        if own_lo <= root_global < own_lo + n_own:
+            dist[root_global - own_lo] = 0.0
+
+        rows_bu = expand_rows(g.bu_indexes)
+        light = weights < delta
+        new_row = np.full(g.n_row, INF, dtype=np.float64)
+        settled_below = 0.0
+        n_phases = 0
+        n_rounds = 0
+
+        def relax(edge_mask: np.ndarray, bucket_lo: float,
+                  bucket_hi: float) -> int:
+            """One relaxation round over the masked block edges; returns
+            the global number of improved owned vertices."""
+            dist_col = f2.gather_values(dist)
+            new_row[:] = INF
+            if g.m_block:
+                src_active = (dist_col >= bucket_lo) & (dist_col < bucket_hi)
+                use = edge_mask & src_active[g.bu_edges]
+                cand = np.where(use, dist_col[g.bu_edges] + weights, INF)
+                np.minimum.at(new_row, rows_bu, cand)
+            all_row = f2.reduce_rows(new_row, MIN)
+            new_own = np.minimum(dist, all_row[row_off:row_off + n_own])
+            improved = comm.allreduce(
+                int(np.count_nonzero(new_own < dist)), SUM)
+            dist[:] = new_own
+            return improved
+
+        while n_rounds < max_rounds:
+            finite = np.isfinite(dist) & (dist >= settled_below)
+            local_min = float(dist[finite].min()) if finite.any() else INF
+            lo = comm.allreduce(local_min, MIN)
+            if not np.isfinite(lo):
+                break
+            bucket_lo = np.floor(lo / delta) * delta
+            bucket_hi = bucket_lo + delta
+            n_phases += 1
+
+            while n_rounds < max_rounds:
+                n_rounds += 1
+                if relax(light, bucket_lo, bucket_hi) == 0:
+                    break
+            n_rounds += 1
+            relax(~light, bucket_lo, bucket_hi)
+            settled_below = bucket_hi
+        else:
+            raise RuntimeError("grid_delta_stepping: round budget exhausted")
+
+        reached = comm.allreduce(
+            int(np.count_nonzero(np.isfinite(dist))), SUM)
+        return DeltaSteppingResult(distances=dist, n_phases=n_phases,
+                                   n_relax_rounds=n_rounds, reached=reached)

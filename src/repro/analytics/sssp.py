@@ -23,26 +23,31 @@ from ..graph.distgraph import DistGraph
 from ..runtime import SUM, Communicator
 from .exchange import HaloExchange
 
-__all__ = ["SSSPResult", "sssp", "default_weights"]
+__all__ = ["SSSPResult", "sssp", "default_weights", "hash_edge_weights"]
 
 INF = np.inf
 
 
-def default_weights(g: DistGraph) -> np.ndarray:
-    """Deterministic pseudo-random weights in [1, 10) per local in-edge.
+def hash_edge_weights(src_g: np.ndarray, dst_g: np.ndarray) -> np.ndarray:
+    """Deterministic pseudo-random weights in [1, 10) per (u, v) edge.
 
-    Hashed from the *global* endpoint ids, so the weight of edge (u, v) is
-    identical under any partitioning or rank count.
+    Hashed purely from the *global* endpoint ids, so the weight of edge
+    (u, v) is identical under any partitioning (1-D or 2-D) or rank count.
     """
-    rows = expand_rows(g.in_indexes)
-    dst_g = g.unmap[rows].astype(np.uint64)
-    src_g = g.unmap[g.in_edges].astype(np.uint64)
+    src_g = np.asarray(src_g).astype(np.uint64)
+    dst_g = np.asarray(dst_g).astype(np.uint64)
     with np.errstate(over="ignore"):
         h = src_g * np.uint64(0x9E3779B97F4A7C15) ^ \
             dst_g * np.uint64(0xBF58476D1CE4E5B9)
         h = (h ^ (h >> np.uint64(33))) * np.uint64(0xD6E8FEB86659FD93)
         h ^= h >> np.uint64(32)
     return 1.0 + 9.0 * (h.astype(np.float64) / float(2**64))
+
+
+def default_weights(g: DistGraph) -> np.ndarray:
+    """:func:`hash_edge_weights` applied to every local in-edge."""
+    rows = expand_rows(g.in_indexes)
+    return hash_edge_weights(g.unmap[g.in_edges], g.unmap[rows])
 
 
 @dataclass(frozen=True)

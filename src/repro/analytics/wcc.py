@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph.distgraph import DistGraph
+from ..graph.distgraph import DistGraph, GridGraph
 from ..runtime import MIN, SUM, Communicator
 from .bfs import distributed_bfs
 from .common import combined_adjacency, global_max_degree_vertex
@@ -67,11 +67,15 @@ def _min_neighbor_labels(
 
 def wcc(
     comm: Communicator,
-    g: DistGraph,
+    g: DistGraph | GridGraph,
     halo: HaloExchange | None = None,
     max_color_iters: int = 10_000,
 ) -> WCCResult:
     """Label every vertex with the minimum global id of its weak component."""
+    if isinstance(g, GridGraph):
+        from .frontier2d import grid_wcc
+
+        return grid_wcc(comm, g, max_color_iters=max_color_iters)
     with comm.region("wcc"):
         if halo is None:
             halo = HaloExchange(comm, g)

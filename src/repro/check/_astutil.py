@@ -30,6 +30,19 @@ function body so taint flows through assignment chains.  An ``_Env`` may
 carry a ``call_level`` hook: the deep pass uses it to classify calls to
 *known* functions from their interprocedural summaries, while the shallow
 pass falls back to the conservative max-over-arguments join.
+
+Sub-communicators
+-----------------
+``comm.split`` / ``comm.rows`` / ``comm.cols`` return communicators over
+a *subgroup* of the world.  The schedule rules (SPMD001–005) and the
+reduction-shape rule (SPMD016) model the world-wide schedule, so
+collectives issued on a sub-communicator are out of their scope:
+:func:`_is_subcomm_name` recognizes the naming convention (``row_comm``,
+``col_comm``, ``sub_comm``, ``grid_comm``, …) and :func:`_subcomm_names`
+tracks names assigned from a factory call regardless of spelling.  The
+factory call itself stays a world collective site; subgroup-internal
+consistency is enforced at runtime by the verifier, whose collective
+signatures are scoped to the subgroup a ``split`` creates.
 """
 
 from __future__ import annotations
@@ -38,7 +51,7 @@ import ast
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["Finding", "COLLECTIVES", "UNIFORM_RESULT",
+__all__ = ["Finding", "COLLECTIVES", "UNIFORM_RESULT", "SUBCOMM_FACTORIES",
            "REPLICATED", "RANK_LOCAL", "RANK_DEPENDENT"]
 
 #: Collective method names recognized on a communicator receiver.
@@ -46,8 +59,14 @@ COLLECTIVES = frozenset({
     "barrier", "bcast", "gather", "allgather", "scatter", "alltoall",
     "allreduce", "reduce", "scan", "exscan", "allgatherv", "gatherv",
     "reduce_scatter", "alltoallv", "alltoallv_flat", "alltoallv_plan",
-    "split",
+    "split", "rows", "cols",
 })
+
+#: Sub-communicator factories: *calling* one is a world collective (it
+#: is ``split`` or the cached grid wrapper), but collectives issued on
+#: the returned communicator are scoped to the subgroup, so the schedule
+#: rules must not count them as world-wide sites (see spmdlint).
+SUBCOMM_FACTORIES = frozenset({"split", "rows", "cols"})
 
 #: Collectives whose result is identical on every rank.
 UNIFORM_RESULT = frozenset(
@@ -103,6 +122,79 @@ def _is_comm_name(name: str) -> bool:
 def _is_comm_expr(node: ast.expr) -> bool:
     ident = _final_identifier(node)
     return ident is not None and _is_comm_name(ident)
+
+
+#: Name segments that mark a communicator identifier as subgroup-scoped.
+_SUBCOMM_QUALIFIERS = frozenset(
+    {"row", "rows", "col", "cols", "sub", "grid", "group"})
+
+
+def _is_subcomm_name(name: str) -> bool:
+    """Word-boundary *sub*-communicator-name test.
+
+    ``row_comm``, ``col_comm``, ``sub_comm``, ``grid_comm`` name subgroup
+    communicators by convention (a qualifying segment next to the
+    ``comm`` segment); plain ``comm``, ``mpi_comm`` and ``comm_world``
+    stay world communicators.
+    """
+    segs = name.lower().split("_")
+    return "comm" in segs and not _SUBCOMM_QUALIFIERS.isdisjoint(segs)
+
+
+def _subcomm_factory_op(call: ast.Call) -> str | None:
+    """Factory name when ``call`` is ``<comm>.{split|rows|cols}(...)``."""
+    op = _collective_op(call)
+    return op if op in SUBCOMM_FACTORIES else None
+
+
+def _subcomm_names(fn: ast.AST) -> frozenset[str]:
+    """Names bound (directly or via aliasing) to sub-communicators.
+
+    A name is subgroup-scoped when assigned from a subcomm factory call
+    (``comm.split`` / ``comm.rows`` / ``comm.cols``), from another
+    subcomm name, or from an attribute whose final identifier follows
+    the subcomm naming convention (``self.col_comm``).
+    """
+    names: set[str] = set()
+
+    def _value_is_subcomm(value: ast.expr) -> bool:
+        if isinstance(value, ast.Call):
+            return _subcomm_factory_op(value) is not None
+        if isinstance(value, ast.Name):
+            return value.id in names or _is_subcomm_name(value.id)
+        if isinstance(value, ast.Attribute):
+            return _is_subcomm_name(value.attr)
+        return False
+
+    for _ in range(4):
+        before = len(names)
+        for node in _walk_in_scope(fn):
+            if isinstance(node, ast.Assign) and _value_is_subcomm(node.value):
+                for tgt in node.targets:
+                    names.update(_target_names(tgt))
+            elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                    and _value_is_subcomm(node.value)):
+                names.update(_target_names(node.target))
+        if len(names) == before:
+            break
+    return frozenset(names)
+
+
+def _is_subcomm_receiver(call: ast.Call,
+                         names: frozenset[str] = frozenset()) -> bool:
+    """Is this collective issued *on* a subgroup communicator?
+
+    The factory call itself (``comm.split(...)``) is not a subcomm site
+    — creating the group is a world collective; only operations on the
+    result are subgroup-scoped.  ``names`` carries the in-scope names
+    known to be split-derived (from :func:`_subcomm_names`); the naming
+    convention applies even without it.
+    """
+    fn = call.func
+    if not isinstance(fn, ast.Attribute):
+        return False
+    ident = _final_identifier(fn.value)
+    return ident is not None and (ident in names or _is_subcomm_name(ident))
 
 
 def _collective_op(call: ast.Call) -> str | None:

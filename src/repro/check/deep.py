@@ -42,6 +42,8 @@ from ._astutil import (
     _classify,
     _Env,
     _final_identifier,
+    _is_comm_name,
+    _is_subcomm_name,
 )
 from .callgraph import CallGraph, ModuleInfo, build_callgraph
 from .picklecheck import lint_portability
@@ -122,9 +124,27 @@ class _DeepLinter(_FunctionLinter):
     def _extra_site_label(self, call: ast.Call) -> str | None:
         summary = self._table.for_call(self._mod, call)
         if summary is not None and summary.issues:
+            if self._subcomm_only_call(call):
+                return None  # callee's schedule runs on the subgroup
             ident = _final_identifier(call.func)
             return f"call:{ident or '<dynamic>'}"
         return None
+
+    def _subcomm_only_call(self, call: ast.Call) -> bool:
+        """Every communicator argument of the call is a sub-communicator.
+
+        A summarized helper whose schedule was derived from a ``comm``
+        parameter issues subgroup collectives when invoked with a
+        row/column communicator — not world sites.
+        """
+        saw_subcomm = False
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name) and _is_comm_name(arg.id):
+                if not (arg.id in self.subcomm_names
+                        or _is_subcomm_name(arg.id)):
+                    return False
+                saw_subcomm = True
+        return saw_subcomm
 
     def _call_level(self, call: ast.Call, env: _Env) -> int | None:
         return self._summary_hook(call, env)

@@ -62,6 +62,8 @@ from ._astutil import (
     _collective_op,
     _fn_params,
     _infer_env,
+    _is_subcomm_receiver,
+    _subcomm_names,
     _target_names,
     _walk_in_scope,
 )
@@ -301,6 +303,8 @@ class _DistInterp:
         self.returns: list[tuple[str, bool, bool]] = []
         # Replication env for SPMD016 construction-site classification.
         self.repl_env = _infer_env(fn, list(self.param_set))
+        # Sub-communicator receivers are exempt from SPMD016.
+        self.subcomm_names = _subcomm_names(fn)
         for p in self.param_set:
             sp = seeded_space(p)
             if sp != SPACE_UNKNOWN:
@@ -676,7 +680,10 @@ class _DistInterp:
 
         op = _collective_op(call)
         if op is not None:
-            if op in ("allreduce", "reduce") and call.args:
+            if (op in ("allreduce", "reduce") and call.args
+                    and not _is_subcomm_receiver(call, self.subcomm_names)):
+                # Subgroup reductions may legitimately size their buffer
+                # per subgroup (identical within the group's members).
                 self._check_spmd016(op, call)
             if op in ("alltoallv", "alltoall") and call.args:
                 self._check_perf002(call, op)

@@ -18,6 +18,16 @@ This module is intraprocedural; :mod:`.deep` reuses :class:`_FunctionLinter`
 through its ``_extra_site_label`` / ``_call_level`` hooks to make the same
 rules fire across call boundaries.
 
+The schedule the rules model is the *world* schedule.  Collectives on a
+sub-communicator (the result of ``comm.split``/``rows``/``cols``, or any
+name following the ``row_comm``/``col_comm``/``sub_comm`` convention) are
+scoped to their subgroup and exempt from SPMD001–005/SPMD016: a globally
+rank-dependent guard such as ``rank // grid_cols == 0`` is uniform within
+every grid-row subgroup, so exempting these sites is what keeps the 2-D
+kernels lintable (``tests/fixtures/deep/clean_subcomm.py`` pins the
+behavior).  The factory call itself remains a world collective site, and
+subgroup-internal consistency is enforced at runtime by the verifier.
+
 Findings carry a rule id, a precise ``path:line:col`` span, and honor
 ``# spmdlint: disable[=SPMD001[,SPMD002]]`` on the flagged line (or
 ``# spmdlint: disable-file`` anywhere in the file).
@@ -46,6 +56,9 @@ from ._astutil import (
     _fn_params,
     _infer_env,
     _is_comm_name,
+    _is_subcomm_name,
+    _is_subcomm_receiver,
+    _subcomm_names,
     _target_names,
     _walk_in_scope,
 )
@@ -213,20 +226,34 @@ def apply_suppressions(findings: Iterable[Finding], source: str) -> None:
 # ---------------------------------------------------------------------------
 # collective-site recognition (shared primitives live in ._astutil)
 # ---------------------------------------------------------------------------
-def _forwards_comm(call: ast.Call) -> bool:
-    """True when the call passes a communicator onward (indirect site)."""
+def _forwards_comm(call: ast.Call,
+                   subcomm_names: frozenset[str] = frozenset()) -> bool:
+    """True when the call passes a *world* communicator onward.
+
+    Forwarding only sub-communicators does not make the call a world
+    schedule site: the callee's collectives are scoped to the subgroup.
+    """
     for arg in list(call.args) + [kw.value for kw in call.keywords]:
         if isinstance(arg, ast.Name) and _is_comm_name(arg.id):
+            if arg.id in subcomm_names or _is_subcomm_name(arg.id):
+                continue
             return True
     return False
 
 
-def _site_label(call: ast.Call) -> str | None:
-    """Schedule label of a call: a collective op or a comm-forwarding call."""
+def _site_label(call: ast.Call,
+                subcomm_names: frozenset[str] = frozenset()) -> str | None:
+    """Schedule label of a call: a collective op or a comm-forwarding call.
+
+    Collectives issued *on* a sub-communicator are not world sites (the
+    factory call itself — ``comm.split``/``rows``/``cols`` — still is).
+    """
     op = _collective_op(call)
     if op is not None:
+        if _is_subcomm_receiver(call, subcomm_names):
+            return None
         return op
-    if _forwards_comm(call):
+    if _forwards_comm(call, subcomm_names):
         ident = _final_identifier(call.func)
         return f"call:{ident or '<dynamic>'}"
     return None
@@ -249,6 +276,7 @@ class _FunctionLinter:
         self.fn = fn
         self.path = path
         self.select = select
+        self.subcomm_names = _subcomm_names(fn)
         self.env = _infer_env(fn, _fn_params(fn),
                               call_level=self._call_level)
         self.sites = self._sites_in(fn)
@@ -265,7 +293,7 @@ class _FunctionLinter:
         return None
 
     def _site_label(self, call: ast.Call) -> str | None:
-        label = _site_label(call)
+        label = _site_label(call, self.subcomm_names)
         if label is not None:
             return label
         return self._extra_site_label(call)
@@ -501,6 +529,8 @@ class _FunctionLinter:
                 op = _collective_op(call)
                 if op is None:
                     continue
+                if _is_subcomm_receiver(call, self.subcomm_names):
+                    continue  # subgroup-scoped: not the world hot path
                 if loops and op in BUFFER_ALTERNATIVE:
                     self._emit(
                         "SPMD004", call,

@@ -37,6 +37,8 @@ from ._astutil import (
     _Env,
     _fn_params,
     _infer_env,
+    _is_subcomm_receiver,
+    _subcomm_names,
     _walk_in_scope,
 )
 from .callgraph import CallGraph, FunctionInfo
@@ -131,13 +133,17 @@ def _ordered_scope_calls(fn: ast.AST) -> list[ast.Call]:
 def _expand_schedule(fi: FunctionInfo, table: SummaryTable,
                      in_progress: set[str]) -> tuple[str, ...]:
     ops: list[str] = []
+    subcomms = _subcomm_names(fi.node)
     for call in _ordered_scope_calls(fi.node):
         if len(ops) >= MAX_SCHEDULE:
             ops.append("…")
             break
         op = _collective_op(call)
         if op is not None:
-            ops.append(op)
+            # Subgroup-scoped collectives are not part of the function's
+            # world schedule (the split/rows/cols factory call itself is).
+            if not _is_subcomm_receiver(call, subcomms):
+                ops.append(op)
             continue
         target = fi.module and table.graph.resolve(fi.module, call)
         if target is None:

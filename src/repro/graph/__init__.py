@@ -13,6 +13,7 @@ from .build import (
     build_dist_graph,
     build_dist_graph_from_file,
     build_dist_graph_with_stats,
+    build_grid_graph,
 )
 from .compressed import CompressedCSR, varint_decode, varint_encode
 from .csr import (
@@ -21,9 +22,10 @@ from .csr import (
     expand_rows,
     segment_count_nonzero,
     segment_max,
+    segment_min,
     segment_sum,
 )
-from .distgraph import DistGraph
+from .distgraph import DistGraph, GridGraph
 from .hashmap import IntHashMap
 from .transform import (
     degree_order,
@@ -40,12 +42,15 @@ __all__ = [
     "build_dist_graph",
     "build_dist_graph_with_stats",
     "build_dist_graph_from_file",
+    "build_grid_graph",
+    "GridGraph",
     "IntHashMap",
     "build_csr",
     "csr_row_lengths",
     "expand_rows",
     "segment_sum",
     "segment_max",
+    "segment_min",
     "segment_count_nonzero",
     "CompressedCSR",
     "varint_encode",

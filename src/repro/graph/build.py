@@ -19,13 +19,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..partition.base import Partition
+from ..partition.grid import GridEdgePartition
 from ..runtime import SUM, Communicator
 from .csr import build_csr, sorted_unique
-from .distgraph import DistGraph
+from .distgraph import DistGraph, GridGraph
 from .hashmap import IntHashMap
 
 __all__ = ["BuildStats", "build_dist_graph", "build_dist_graph_with_stats",
-           "build_dist_graph_from_file"]
+           "build_dist_graph_from_file", "build_grid_graph"]
 
 
 @dataclass(frozen=True)
@@ -181,6 +182,106 @@ def build_dist_graph_with_stats(
         m_in=g.m_in,
     )
     return g, stats
+
+
+def build_grid_graph(
+    comm: Communicator,
+    edges_chunk: np.ndarray,
+    partition: GridEdgePartition,
+    edge_values: np.ndarray | None = None,
+    symmetrize: bool = False,
+) -> GridGraph:
+    """Collectively build the 2-D checkerboard edge-block distribution.
+
+    Unlike the 1-D builder, each edge travels to exactly **one** rank —
+    the grid block ``(row_of(owner(dst)), col_of(owner(src)))`` — and is
+    stored twice locally (td and bu CSR views).  There is no ghost
+    relabeling: per-phase frontier state is exchanged along the grid's
+    rows and columns instead (:mod:`repro.analytics.frontier2d`).
+
+    Parameters
+    ----------
+    symmetrize:
+        Also deliver the reversed edge ``v → u`` for every input edge, so
+        in-neighbor scans see the *undirected* adjacency (what the 2-D WCC
+        port needs).  ``m_global`` still counts the original edges.
+    """
+    edges_chunk = np.ascontiguousarray(edges_chunk, dtype=np.int64)
+    if edges_chunk.ndim != 2 or edges_chunk.shape[1] != 2:
+        raise ValueError("edges_chunk must have shape (m, 2)")
+    if not isinstance(partition, GridEdgePartition):
+        raise TypeError("build_grid_graph needs a GridEdgePartition")
+    if partition.nparts != comm.size:
+        raise ValueError(
+            f"partition has {partition.nparts} parts but world size is {comm.size}")
+    if edge_values is not None:
+        edge_values = np.ascontiguousarray(edge_values, dtype=np.float64)
+        if edge_values.shape != (len(edges_chunk),):
+            raise ValueError("edge_values must have one entry per chunk edge")
+
+    rank, p = comm.rank, comm.size
+    c = partition.grid_cols
+    with comm.region("build2d.exchange"):
+        m_global = comm.allreduce(len(edges_chunk), SUM)
+        src, dst = edges_chunk[:, 0], edges_chunk[:, 1]
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            if edge_values is not None:
+                edge_values = np.concatenate([edge_values, edge_values])
+        # Block (i, j) <=> rank i*c + j.
+        blocks = (partition.owner_of(dst) // c) * c + partition.owner_of(src) % c
+        (send_src, send_dst), counts = _grouped_send(blocks, p, src, dst)
+        blk_src, _ = comm.alltoallv_flat(send_src, counts)
+        blk_dst, _ = comm.alltoallv_flat(send_dst, counts)
+        blk_vals = None
+        if edge_values is not None:
+            (send_vals,), _ = _grouped_send(blocks, p, edge_values)
+            blk_vals, _ = comm.alltoallv_flat(send_vals, counts)
+
+    with comm.region("build2d.convert"):
+        i, j = partition.grid_coords(rank)
+        if i >= 0:
+            row_lo, row_hi = partition.row_range(i)
+            col_counts = partition.col_chunk_counts(j)
+            col_unmap = partition.col_slice_gids(j)
+            n_row = row_hi - row_lo
+            n_col = len(col_unmap)
+            v_idx = blk_dst - row_lo
+            u_idx = partition.col_index_of(j, blk_src)
+            td_indexes, td_edges = build_csr(n_col, u_idx, v_idx)
+            bu_indexes, bu_edges = build_csr(n_row, v_idx, u_idx)
+            td_vals = bu_vals = None
+            if blk_vals is not None:
+                td_vals = blk_vals[np.argsort(u_idx, kind="stable")]
+                bu_vals = blk_vals[np.argsort(v_idx, kind="stable")]
+        else:
+            row_lo = 0
+            col_counts = np.empty(0, dtype=np.int64)
+            col_unmap = np.empty(0, dtype=np.int64)
+            td_indexes = bu_indexes = np.zeros(1, dtype=np.int64)
+            td_edges = bu_edges = np.empty(0, dtype=np.int64)
+            td_vals = bu_vals = (np.empty(0, dtype=np.float64)
+                                 if blk_vals is not None else None)
+
+    return GridGraph(
+        rank=rank,
+        nparts=p,
+        n_global=partition.n_global,
+        m_global=int(m_global),
+        partition=partition,
+        grid_row=i,
+        grid_col=j,
+        row_lo=int(row_lo),
+        td_indexes=td_indexes,
+        td_edges=td_edges,
+        bu_indexes=bu_indexes,
+        bu_edges=bu_edges,
+        col_counts=col_counts,
+        col_unmap=col_unmap,
+        td_values=td_vals,
+        bu_values=bu_vals,
+        symmetrized=symmetrize,
+    )
 
 
 def build_dist_graph(

@@ -19,6 +19,7 @@ __all__ = [
     "csr_row_lengths",
     "segment_sum",
     "segment_max",
+    "segment_min",
     "segment_count_nonzero",
     "expand_rows",
     "sorted_unique",
@@ -125,6 +126,20 @@ def segment_max(indptr: np.ndarray, values: np.ndarray, empty_value) -> np.ndarr
         return out
     starts = indptr[:-1][nonempty]
     out[nonempty] = np.maximum.reduceat(values, starts)
+    return out
+
+
+def segment_min(indptr: np.ndarray, values: np.ndarray, empty_value) -> np.ndarray:
+    """Per-row minimum of ``values``; empty rows get ``empty_value``."""
+    n = len(indptr) - 1
+    out = np.full(n, empty_value, dtype=values.dtype if len(values) else np.int64)
+    if len(values) == 0 or n == 0:
+        return out
+    nonempty = indptr[:-1] < indptr[1:]
+    if not nonempty.any():
+        return out
+    starts = indptr[:-1][nonempty]
+    out[nonempty] = np.minimum.reduceat(values, starts)
     return out
 
 

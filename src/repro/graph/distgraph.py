@@ -25,10 +25,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..partition.base import Partition
+from ..partition.grid import GridEdgePartition
 from .csr import csr_row_lengths
 from .hashmap import IntHashMap
 
-__all__ = ["DistGraph"]
+__all__ = ["DistGraph", "GridGraph"]
 
 
 @dataclass
@@ -204,4 +205,141 @@ class DistGraph:
             f"n_loc={self.n_loc}, n_gst={self.n_gst}, "
             f"m_out={self.m_out}, m_in={self.m_in}, "
             f"n_global={self.n_global}, m_global={self.m_global})"
+        )
+
+
+@dataclass
+class GridGraph:
+    """One rank's edge block of a 2-D checkerboard-distributed graph.
+
+    Rank ``(i, j)`` of the process grid stores every edge ``u → v`` with
+    ``owner(u)`` in grid column ``j`` and ``owner(v)`` in grid row ``i``,
+    in two CSR views of the same block:
+
+    * ``td_*`` ("top-down"): rows are **column-slice** source indices,
+      entries are **row-slice** target indices;
+    * ``bu_*`` ("bottom-up"): rows are row-slice target indices, entries
+      are column-slice source indices.
+
+    The row slice (grid row ``i``'s vertices) is a contiguous global
+    range ``[row_lo, row_lo + n_row)``; the column slice (grid column
+    ``j``'s vertices) is a strided union of chunks, one per grid row,
+    concatenated in grid-row order — exactly the order of an allgatherv
+    over ``comm.cols()``, so a gathered per-own-vertex array *is* a
+    column-slice array.  ``col_unmap`` maps column-slice index → gid.
+
+    Idle ranks of a fallback grid hold an empty block (all sizes zero,
+    ``grid_row == grid_col == -1``) and skip row/column collectives.
+    """
+
+    rank: int
+    nparts: int
+    n_global: int
+    m_global: int
+    partition: GridEdgePartition
+    grid_row: int
+    grid_col: int
+    row_lo: int  # first gid of the (contiguous) row slice
+    td_indexes: np.ndarray  # (n_col + 1,)
+    td_edges: np.ndarray  # (m_block,) row-slice indices
+    bu_indexes: np.ndarray  # (n_row + 1,)
+    bu_edges: np.ndarray  # (m_block,) column-slice indices
+    col_counts: np.ndarray  # (grid_rows,) column-slice chunk sizes
+    col_unmap: np.ndarray  # (n_col,) column-slice index -> gid
+    td_values: np.ndarray | None = None  # optional weights, td order
+    bu_values: np.ndarray | None = None  # optional weights, bu order
+    symmetrized: bool = False  # True when built with reversed edges added
+
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        return self.grid_row >= 0
+
+    @property
+    def n_row(self) -> int:
+        """Row-slice size (number of bu CSR rows)."""
+        return len(self.bu_indexes) - 1
+
+    @property
+    def n_col(self) -> int:
+        """Column-slice size (number of td CSR rows)."""
+        return len(self.td_indexes) - 1
+
+    @property
+    def m_block(self) -> int:
+        return len(self.td_edges)
+
+    @property
+    def n_own(self) -> int:
+        """Vertices owned by this rank (its chunk of the vertex range)."""
+        return self.partition.n_owned(self.rank)
+
+    @property
+    def own_lo(self) -> int:
+        """First owned gid."""
+        return int(self.partition.boundaries[self.rank])
+
+    @property
+    def own_row_off(self) -> int:
+        """Offset of the owned chunk inside the row slice."""
+        return self.own_lo - self.row_lo
+
+    @property
+    def own_col_off(self) -> int:
+        """Offset of the owned chunk inside the column slice."""
+        return int(self.col_counts[:self.grid_row].sum()) \
+            if self.is_active else 0
+
+    def td_degrees(self) -> np.ndarray:
+        """Block-local out-degree of every column-slice vertex."""
+        return csr_row_lengths(self.td_indexes)
+
+    def bu_degrees(self) -> np.ndarray:
+        """Block-local in-degree of every row-slice vertex."""
+        return csr_row_lengths(self.bu_indexes)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of this rank's block structures."""
+        return (self.td_indexes.nbytes + self.td_edges.nbytes
+                + self.bu_indexes.nbytes + self.bu_edges.nbytes
+                + self.col_counts.nbytes + self.col_unmap.nbytes)
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and after build)."""
+        p = self.partition
+        if not self.is_active:
+            if self.n_row or self.n_col or self.m_block or self.n_own:
+                raise AssertionError("idle rank holds a non-empty block")
+            return
+        lo, hi = p.row_range(self.grid_row)
+        if lo != self.row_lo or hi - lo != self.n_row:
+            raise AssertionError("row slice disagrees with partition")
+        if not np.array_equal(p.col_chunk_counts(self.grid_col),
+                              self.col_counts):
+            raise AssertionError("col chunks disagree with partition")
+        if len(self.col_unmap) != int(self.col_counts.sum()):
+            raise AssertionError("col_unmap length != column-slice size")
+        if len(self.td_edges) != len(self.bu_edges):
+            raise AssertionError("td/bu edge count mismatch")
+        if len(self.td_edges) and (
+            self.td_edges.min() < 0 or self.td_edges.max() >= self.n_row
+        ):
+            raise AssertionError("td_edges contains invalid row indices")
+        if len(self.bu_edges) and (
+            self.bu_edges.min() < 0 or self.bu_edges.max() >= self.n_col
+        ):
+            raise AssertionError("bu_edges contains invalid column indices")
+        for name in ("td_indexes", "bu_indexes"):
+            if not np.all(np.diff(getattr(self, name)) >= 0):
+                raise AssertionError(f"{name} not monotone")
+        if (self.td_values is None) != (self.bu_values is None):
+            raise AssertionError("edge values must exist in both views")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridGraph(rank={self.rank}/{self.nparts}, "
+            f"grid=({self.grid_row},{self.grid_col}), "
+            f"n_row={self.n_row}, n_col={self.n_col}, "
+            f"m_block={self.m_block}, n_global={self.n_global}, "
+            f"m_global={self.m_global})"
         )

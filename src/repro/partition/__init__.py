@@ -9,7 +9,10 @@ Three simple strategies from the paper plus an explicit fallback:
 * :class:`RandomHashPartition` — stateless uniform-random assignment —
   "WC-rand";
 * :class:`ExplicitPartition` — arbitrary owner table (output of a real
-  partitioner or reordering).
+  partitioner or reordering);
+* :class:`GridEdgePartition` — 2-D ``r × c`` checkerboard edge blocks
+  (Buluç & Madduri); also a valid 1-D contiguous partition, with the grid
+  row/column structure layered on top (see :mod:`repro.analytics.frontier2d`).
 
 :func:`evaluate_partition` computes the balance/edge-cut metrics the paper
 uses to explain the performance differences among these strategies.
@@ -19,6 +22,7 @@ from .base import Partition
 from .block import VertexBlockPartition
 from .edge_block import EdgeBlockPartition
 from .explicit import ExplicitPartition
+from .grid import GridEdgePartition, GridShapeError, grid_shape
 from .pulp import pulp_partition
 from .random import RandomHashPartition
 from .stats import PartitionStats, evaluate_partition
@@ -29,6 +33,9 @@ __all__ = [
     "EdgeBlockPartition",
     "RandomHashPartition",
     "ExplicitPartition",
+    "GridEdgePartition",
+    "GridShapeError",
+    "grid_shape",
     "PartitionStats",
     "evaluate_partition",
     "pulp_partition",

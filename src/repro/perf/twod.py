@@ -23,17 +23,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..partition.block import VertexBlockPartition
+from ..partition.grid import grid_shape
 from .costmodel import PerRankCosts
 
+# grid_shape moved to repro.partition.grid so the cost model and the
+# runnable GridEdgePartition share one factorization (including the
+# prime-p GridShapeError / idle-rank fallback); re-exported here for
+# backward compatibility.
 __all__ = ["pagerank_like_costs_2d", "grid_shape"]
-
-
-def grid_shape(p: int) -> tuple[int, int]:
-    """Most-square factorization ``rows x cols = p``."""
-    r = int(np.sqrt(p))
-    while p % r:
-        r -= 1
-    return r, p // r
 
 
 def pagerank_like_costs_2d(
@@ -46,7 +43,9 @@ def pagerank_like_costs_2d(
     row-slice ``i`` and destination in column-slice ``j``.
     """
     edges = np.asarray(edges, dtype=np.int64)
-    rows, cols = grid_shape(p)
+    # Prime p models the nearest smaller grid with idle ranks, exactly the
+    # layout GridEdgePartition runs (idle ranks do no work, move no bytes).
+    rows, cols = grid_shape(p, fallback=True)
     row_part = VertexBlockPartition(n, rows)
     col_part = VertexBlockPartition(n, cols)
 
@@ -58,9 +57,9 @@ def pagerank_like_costs_2d(
     # Traffic per rank: receive the column slice's x values (gather along
     # the column, n/cols values from each of rows-1 peers is the classic
     # allgather; modeled as the slice size) + send row partials (n/rows).
-    ghost_recv = np.empty(p, dtype=np.int64)
-    ghost_send = np.empty(p, dtype=np.int64)
-    peer_count = np.empty(p, dtype=np.int64)
+    ghost_recv = np.zeros(p, dtype=np.int64)
+    ghost_send = np.zeros(p, dtype=np.int64)
+    peer_count = np.zeros(p, dtype=np.int64)
     for i in range(rows):
         for j in range(cols):
             r = i * cols + j

@@ -856,6 +856,59 @@ class Communicator:
         return Communicator(received[leader], new_rank)
 
     # ------------------------------------------------------------------
+    # cached 2-D grid sub-communicators (built on split)
+    # ------------------------------------------------------------------
+    def _grid_subcomm(self, kind: str, rows: int | None, cols: int | None
+                      ) -> "Communicator | None":
+        if rows is None or cols is None:
+            if rows is not None or cols is not None:
+                raise CommUsageError("pass both grid dims or neither")
+            from ..partition.grid import grid_shape  # no import cycle at load
+            rows, cols = grid_shape(self.size, fallback=True)
+        if rows < 1 or cols < 1 or rows * cols > self.size:
+            raise CommUsageError(
+                f"grid {rows}x{cols} does not fit in {self.size} ranks")
+        cache = getattr(self, "_subcomm_cache", None)
+        if cache is None:
+            cache = self._subcomm_cache = {}
+        key = (kind, rows, cols)
+        if key not in cache:
+            # The split is collective; every rank must request the same
+            # shape (the verifier cross-checks the underlying exchanges).
+            # Ranks beyond the active r*c grid opt out with color=None.
+            if self.rank >= rows * cols:
+                cache[key] = self.split(None)
+            elif kind == "rows":
+                cache[key] = self.split(self.rank // cols, self.rank % cols)
+            else:
+                cache[key] = self.split(self.rank % cols, self.rank // cols)
+        return cache[key]
+
+    def rows(self, rows: int | None = None, cols: int | None = None
+             ) -> "Communicator | None":
+        """This rank's *grid-row* sub-communicator on an ``rows × cols``
+        process grid (most-square default shape), built once via
+        :meth:`split` and cached.
+
+        Rank ``k < rows*cols`` lands in the group of grid row ``k // cols``
+        with sub-rank ``k % cols``; ranks beyond the active grid get
+        ``None`` (idle).  Collective on first use per shape — every rank
+        must call with the same dimensions.  The returned communicator has
+        its own world, trace, and schedule-verifier scope: signatures are
+        compared only among the subgroup's members.
+        """
+        return self._grid_subcomm("rows", rows, cols)
+
+    def cols(self, rows: int | None = None, cols: int | None = None
+             ) -> "Communicator | None":
+        """This rank's *grid-column* sub-communicator (see :meth:`rows`).
+
+        Rank ``k < rows*cols`` lands in the group of grid column
+        ``k % cols`` with sub-rank ``k // cols``.
+        """
+        return self._grid_subcomm("cols", rows, cols)
+
+    # ------------------------------------------------------------------
     # point-to-point (used sparingly; the paper's codes are collective-only)
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:

@@ -16,6 +16,7 @@ os.environ.setdefault("REPRO_VERIFY_COLLECTIVES", "1")
 from repro.graph import build_dist_graph
 from repro.partition import (
     EdgeBlockPartition,
+    GridEdgePartition,
     RandomHashPartition,
     VertexBlockPartition,
 )
@@ -32,6 +33,10 @@ def make_partition(kind: str, comm, n: int, edges_chunk: np.ndarray):
         return EdgeBlockPartition.from_edge_chunks(comm, edges_chunk[:, 0], n)
     if kind == "rand":
         return RandomHashPartition(n, comm.size, seed=42)
+    if kind == "grid":
+        # fallback=True: tests run at arbitrary (incl. prime) rank counts.
+        return GridEdgePartition.from_edge_chunks(
+            comm, edges_chunk[:, 0], n, fallback=True)
     raise ValueError(kind)
 
 

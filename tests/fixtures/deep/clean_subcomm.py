@@ -1,0 +1,92 @@
+"""Sub-communicator schedules that must produce zero findings.
+
+Collectives issued on a row/column sub-communicator (``comm.split`` /
+``comm.rows`` / ``comm.cols``) are scoped to that *subgroup*, not the
+world, so the world-schedule reading of SPMD001-005/SPMD016 does not
+apply to them:
+
+* a guard that is rank-dependent globally can be uniform within every
+  subgroup (all members of a grid row share ``rank // grid_cols``);
+* an idle rank excluded by ``split(None)`` is not part of the subgroup
+  schedule at all, so bailing out early skips nothing it owes anyone;
+* a reduction buffer sized per subgroup is identical on every *member*
+  even though it differs across the world.
+
+Each function below is the correct 2-D checkerboard idiom that a
+world-wide reading would misflag; subgroup-internal consistency is
+checked at runtime by the verifier (split scopes signatures to the new
+group).  The factory calls themselves (``comm.split``/``rows``/``cols``)
+stay world-collective sites — only use of the *result* is exempt.
+"""
+
+import numpy as np
+
+
+def gather_on_rows(comm, row_color, row_key, own_part):
+    # Idle ranks (color None) leave the subgroup before its collectives:
+    # the early return skips only subgroup-scoped sites, never the world
+    # schedule.
+    row_comm = comm.split(row_color, row_key)
+    if row_comm is None:
+        return None
+    return row_comm.allgatherv(own_part)
+
+
+def head_row_totals(comm, grid_cols, values):
+    # ``rank // grid_cols`` is the grid-row id: rank-dependent globally,
+    # but constant within each row subgroup, so only row 0's subgroup
+    # runs the reduction and its members all agree.
+    row_comm = comm.rows()
+    total = 0.0
+    if comm.rank // grid_cols == 0:
+        total = row_comm.allreduce(values, "sum")
+    return total
+
+
+def sweep_column_chunks(comm, grid_rows, grid_cols, chunk_counts, bits):
+    # The trip count is indexed by the column id — uniform within the
+    # column subgroup that runs the gathers, divergent across the world.
+    my_col = comm.rank % grid_cols
+    col_comm = comm.split(my_col, comm.rank // grid_cols)
+    gathered = []
+    for _ in range(chunk_counts[my_col]):
+        gathered.append(col_comm.allgatherv(bits))
+    return gathered
+
+
+def phase_stats(comm, grid_rows, grid_cols, n_phases, counts):
+    # A tiny object gather per phase over a sqrt(p)-member column group
+    # is not the world-scale pickling hot path SPMD004 models.
+    col_comm = comm.cols(grid_rows, grid_cols)
+    series = []
+    for level in range(n_phases):
+        series.append(col_comm.gather((level, counts[level]), root=0))
+    return series
+
+
+def column_degree_sums(comm, grid_cols, col_sizes, degrees):
+    # The buffer is sized per *column slice* — rank-dependent across the
+    # world, but every member of the column subgroup reduces the same
+    # shape.
+    my_col = comm.rank % grid_cols
+    col_comm = comm.split(my_col, comm.rank // grid_cols)
+    sums = np.zeros(col_sizes[comm.rank], dtype=np.float64)
+    np.add.at(sums, degrees, 1.0)
+    return col_comm.allreduce(sums, "sum")
+
+
+def _min_over_group(row_comm, values):
+    # Helper receiving a subgroup communicator: its allreduce is part of
+    # the subgroup schedule, so callers forwarding only ``row_comm`` are
+    # not world-collective call sites.
+    return row_comm.allreduce(values, "min")
+
+
+def head_column_minimum(comm, grid_cols, values):
+    # Interprocedural form of head_row_totals: the helper call forwards
+    # only the sub-communicator, so the rank-dependent (but per-subgroup
+    # uniform) branch issues no world collectives.
+    row_comm = comm.split(comm.rank // grid_cols, comm.rank % grid_cols)
+    if comm.rank // grid_cols == 0:
+        return _min_over_group(row_comm, values)
+    return None

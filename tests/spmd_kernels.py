@@ -10,10 +10,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analytics import HaloExchange, distributed_bfs_dirop, pagerank, wcc
-from repro.graph import build_dist_graph
+from repro.analytics import (
+    HaloExchange,
+    delta_stepping,
+    distributed_bfs_dirop,
+    pagerank,
+    wcc,
+)
+from repro.graph import build_dist_graph, build_grid_graph
 from repro.partition import (
     EdgeBlockPartition,
+    GridEdgePartition,
     RandomHashPartition,
     VertexBlockPartition,
 )
@@ -60,6 +67,39 @@ def kern_bfs_dirop(comm, cfg):
     levels = distributed_bfs_dirop(comm, g, cfg["root"],
                                    halo=HaloExchange(comm, g))
     return g.unmap[: g.n_loc].copy(), levels
+
+
+def build_grid(comm, cfg: dict):
+    """2-D checkerboard build from the same picklable cfg dict."""
+    edges = cfg["edges"]
+    n = cfg["n"]
+    chunk = np.array_split(edges, comm.size)[comm.rank]
+    part = GridEdgePartition.from_edge_chunks(comm, chunk[:, 0], n,
+                                              fallback=True)
+    return build_grid_graph(comm, chunk, part,
+                            symmetrize=cfg.get("symmetrize", False))
+
+
+def _own_gids(g):
+    return np.arange(g.own_lo, g.own_lo + g.n_own, dtype=np.int64)
+
+
+def kern_grid_bfs(comm, cfg):
+    g = build_grid(comm, cfg)
+    levels = distributed_bfs_dirop(comm, g, cfg["root"])
+    return _own_gids(g), levels
+
+
+def kern_grid_wcc(comm, cfg):
+    g = build_grid(comm, cfg)
+    res = wcc(comm, g)
+    return _own_gids(g), res.labels, int(res.giant_label)
+
+
+def kern_grid_sssp(comm, cfg):
+    g = build_grid(comm, cfg)
+    res = delta_stepping(comm, g, cfg["root"])
+    return _own_gids(g), res.distances, int(res.reached)
 
 
 def kern_collectives(comm, seed):

@@ -1,0 +1,184 @@
+"""2-D checkerboard partition: kernels, sub-communicators, backends.
+
+The acceptance bar for the grid port (ISSUE 9): every frontier kernel on
+a :class:`GridEdgePartition` must be **bitwise identical** to its 1-D
+counterpart — BFS levels, canonical WCC labels, and delta-stepping
+distances are partition-layout invariants — at square, non-square, and
+fallback (prime) rank counts, on both the threads and procs backends,
+with the collective-schedule verifier on (conftest default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import spmd_kernels as K
+from conftest import dist_run, gather_by_gid
+from repro.analytics import delta_stepping, distributed_bfs_dirop, wcc
+from repro.generators import rmat_edges
+from repro.graph import build_grid_graph
+from repro.partition import GridEdgePartition
+from repro.runtime import SUM, run_spmd
+
+N = 128
+GRID_RANKS = [1, 2, 4, 8, 9]  # square (1, 4, 9), non-square (2, 8)
+
+
+@pytest.fixture(scope="module")
+def graph_edges():
+    return rmat_edges(7, edge_factor=4.0, seed=5)  # n=128, skewed degrees
+
+
+@pytest.fixture(scope="module")
+def root(graph_edges):
+    # Highest out-degree vertex: guaranteed inside the giant component.
+    return int(np.bincount(graph_edges[:, 0], minlength=N).argmax())
+
+
+def grid_run(edges, n, nranks, fn, symmetrize=False):
+    """Run ``fn(comm, grid_graph)`` on the threads backend."""
+
+    def job(comm):
+        chunk = np.array_split(edges, comm.size)[comm.rank]
+        part = GridEdgePartition.from_edge_chunks(comm, chunk[:, 0], n,
+                                                  fallback=True)
+        g = build_grid_graph(comm, chunk, part, symmetrize=symmetrize)
+        own = np.arange(g.own_lo, g.own_lo + g.n_own, dtype=np.int64)
+        return own, fn(comm, g)
+
+    return run_spmd(nranks, job, backend="threads")
+
+
+# ---------------------------------------------------------------------------
+# bitwise equality vs the 1-D kernels (threads)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("nranks", GRID_RANKS + [5])
+def test_grid_bfs_bitwise_equals_1d(graph_edges, root, nranks):
+    ref = gather_by_gid(dist_run(
+        graph_edges, N, nranks,
+        lambda c, g: (g.unmap[: g.n_loc], distributed_bfs_dirop(c, g, root)),
+        "eblock"))
+    got = gather_by_gid(grid_run(
+        graph_edges, N, nranks,
+        lambda c, g: distributed_bfs_dirop(c, g, root)))
+    assert got.dtype == ref.dtype
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("nranks", GRID_RANKS)
+def test_grid_wcc_bitwise_equals_1d(graph_edges, nranks):
+    ref_outs = dist_run(
+        graph_edges, N, nranks,
+        lambda c, g: (g.unmap[: g.n_loc], wcc(c, g).labels,
+                      wcc(c, g).giant_label), "eblock")
+    got_outs = grid_run(graph_edges, N, nranks,
+                        lambda c, g: wcc(c, g), symmetrize=True)
+    ref = gather_by_gid(ref_outs)
+    got_gids = np.concatenate([o[0] for o in got_outs])
+    got = np.concatenate([o[1].labels for o in got_outs])[
+        np.argsort(got_gids)]
+    assert np.array_equal(got, ref)
+    giants = {int(o[1].giant_label) for o in got_outs}
+    assert giants == {int(ref_outs[0][2])}
+
+
+@pytest.mark.parametrize("nranks", GRID_RANKS)
+def test_grid_delta_stepping_bitwise_equals_1d(graph_edges, root, nranks):
+    ref = gather_by_gid(dist_run(
+        graph_edges, N, nranks,
+        lambda c, g: (g.unmap[: g.n_loc],
+                      delta_stepping(c, g, root).distances), "eblock"))
+    got = gather_by_gid(grid_run(
+        graph_edges, N, nranks,
+        lambda c, g: delta_stepping(c, g, root).distances))
+    assert got.dtype == ref.dtype
+    assert np.array_equal(got, ref)
+
+
+def test_grid_graph_validates_on_every_rank(graph_edges):
+    def job(comm, g):
+        g.validate()
+        return True
+
+    assert all(r[1] for r in grid_run(graph_edges, N, 8, job))
+    assert all(r[1] for r in grid_run(graph_edges, N, 5, job))  # idle rank
+
+
+# ---------------------------------------------------------------------------
+# comm.rows() / comm.cols() sub-communicators
+# ---------------------------------------------------------------------------
+def test_row_col_subcomms_shape_and_caching():
+    def job(comm):
+        row_comm = comm.rows(2, 2)
+        col_comm = comm.cols(2, 2)
+        assert comm.rows(2, 2) is row_comm  # cached per (kind, shape)
+        assert comm.cols(2, 2) is col_comm
+        i, j = divmod(comm.rank, 2)
+        # Row group: ranks sharing i, ordered by j (and vice versa).
+        assert row_comm.size == 2 and row_comm.rank == j
+        assert col_comm.size == 2 and col_comm.rank == i
+        total = row_comm.allreduce(comm.rank, SUM)
+        return i, j, total
+
+    outs = run_spmd(4, job, backend="threads")
+    # Row sums: row 0 = ranks {0,1}, row 1 = ranks {2,3}.
+    assert [o[2] for o in outs] == [1, 1, 5, 5]
+
+
+def test_subcomm_idle_ranks_get_none():
+    def job(comm):
+        row_comm = comm.rows()  # p=5 -> fallback 2x2 grid, rank 4 idle
+        if row_comm is None:
+            return "idle"
+        return row_comm.allreduce(1, SUM)
+
+    outs = run_spmd(5, job, backend="threads")
+    assert outs == [2, 2, 2, 2, "idle"]
+
+
+def test_subcomm_rejects_partial_shape():
+    from repro.runtime.comm import CommUsageError
+
+    def job(comm):
+        try:
+            comm.rows(2, None)
+        except CommUsageError:
+            return True
+        return False
+
+    assert all(run_spmd(2, job, backend="threads"))
+
+
+# ---------------------------------------------------------------------------
+# procs backend: spawned processes, verifier + sanitizer on
+# ---------------------------------------------------------------------------
+def _procs_bitwise(kernel, cfg, nranks):
+    ref = run_spmd(nranks, kernel, cfg, backend="threads", timeout=180.0,
+                   sanitize=True)
+    got = run_spmd(nranks, kernel, cfg, backend="procs", timeout=180.0,
+                   sanitize=True)
+    for r, g in zip(ref, got):
+        assert repr(np.asarray(r[0]).tolist()) == repr(
+            np.asarray(g[0]).tolist())
+        assert np.asarray(g[1]).dtype == np.asarray(r[1]).dtype
+        assert np.array_equal(np.asarray(g[1]), np.asarray(r[1]))
+        assert repr(r[2:]) == repr(g[2:])
+
+
+@pytest.mark.parametrize("nranks", GRID_RANKS)
+def test_procs_grid_bfs_bitwise(graph_edges, root, nranks):
+    cfg = {"edges": graph_edges, "n": N, "root": root}
+    _procs_bitwise(K.kern_grid_bfs, cfg, nranks)
+
+
+@pytest.mark.parametrize("nranks", [2, 9])
+def test_procs_grid_wcc_bitwise(graph_edges, nranks):
+    cfg = {"edges": graph_edges, "n": N, "symmetrize": True}
+    _procs_bitwise(K.kern_grid_wcc, cfg, nranks)
+
+
+@pytest.mark.parametrize("nranks", [2, 5])
+def test_procs_grid_sssp_bitwise(graph_edges, root, nranks):
+    cfg = {"edges": graph_edges, "n": N, "root": root}
+    _procs_bitwise(K.kern_grid_sssp, cfg, nranks)

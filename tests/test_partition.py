@@ -11,9 +11,12 @@ from repro.generators import webcrawl_edges
 from repro.partition import (
     EdgeBlockPartition,
     ExplicitPartition,
+    GridEdgePartition,
+    GridShapeError,
     RandomHashPartition,
     VertexBlockPartition,
     evaluate_partition,
+    grid_shape,
 )
 
 
@@ -25,6 +28,7 @@ def all_partitions(n, p, degrees=None):
         EdgeBlockPartition(degrees, p),
         RandomHashPartition(n, p, seed=1),
         ExplicitPartition(owners, p),
+        GridEdgePartition(degrees, p, fallback=True),
     ]
 
 
@@ -164,3 +168,96 @@ def test_property_partition_invariants(n, p, seed):
         counts = np.bincount(owners, minlength=p)
         assert counts.sum() == n
         assert (counts == part.owned_counts()).all()
+
+
+# ---------------------------------------------------------------------------
+# 2-D grid partition
+# ---------------------------------------------------------------------------
+def test_grid_shape_exact_and_degenerate():
+    assert grid_shape(1) == (1, 1)
+    assert grid_shape(2) == (1, 2)
+    assert grid_shape(3) == (1, 3)
+    assert grid_shape(4) == (2, 2)
+    assert grid_shape(8) == (2, 4)
+    assert grid_shape(9) == (3, 3)
+    assert grid_shape(12) == (3, 4)
+    assert grid_shape(16) == (4, 4)
+
+
+@pytest.mark.parametrize("p", [5, 7, 11, 13])
+def test_grid_shape_prime_raises_without_fallback(p):
+    with pytest.raises(GridShapeError):
+        grid_shape(p)
+
+
+@pytest.mark.parametrize("p,shape", [(5, (2, 2)), (7, (2, 3)), (11, (2, 5)),
+                                     (13, (3, 4))])
+def test_grid_shape_prime_fallback_idles_ranks(p, shape):
+    r, c = grid_shape(p, fallback=True)
+    assert (r, c) == shape
+    assert 1 < r * c <= p  # non-degenerate, never more blocks than ranks
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8, 9, 12])
+def test_grid_row_and_col_slices_tile_the_graph(p):
+    n = 97
+    rng = np.random.default_rng(p)
+    degrees = rng.integers(0, 9, n).astype(np.int64)
+    part = GridEdgePartition(degrees, p)
+    r, c = part.grid_rows, part.grid_cols
+    # Row slices: contiguous, disjoint, and exactly cover [0, n).
+    lo = 0
+    for i in range(r):
+        rlo, rhi = part.row_range(i)
+        assert rlo == lo and rhi >= rlo
+        lo = rhi
+    assert lo == n
+    # Column slices: disjoint union of owner chunks covering [0, n).
+    seen = np.concatenate([part.col_slice_gids(j) for j in range(c)])
+    assert sorted(seen.tolist()) == list(range(n))
+    for j in range(c):
+        gids = part.col_slice_gids(j)
+        assert (part.owner_of(gids) % c == j).all() if len(gids) else True
+        # col_index_of inverts the slice's concatenation order.
+        idx = part.col_index_of(j, gids)
+        assert idx.tolist() == list(range(len(gids)))
+        assert (np.bincount(part.owner_of(gids), minlength=p)[j::c]
+                == part.col_chunk_counts(j)).all()
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 9])
+def test_grid_edge_blocks_cover_and_partition_edges(p):
+    # Every (owner(src), owner(dst)) pair lands in exactly one grid block,
+    # and the p blocks tile the full edge set.
+    n = 60
+    rng = np.random.default_rng(7)
+    edges = rng.integers(0, n, size=(500, 2), dtype=np.int64)
+    degrees = np.bincount(edges[:, 0], minlength=n).astype(np.int64)
+    part = GridEdgePartition(degrees, p)
+    r, c = part.grid_rows, part.grid_cols
+    blocks = (part.owner_of(edges[:, 1]) // c) * c + part.owner_of(
+        edges[:, 0]) % c
+    assert ((0 <= blocks) & (blocks < r * c)).all()
+    # Block (i, j) holds exactly the edges whose dst lies in row slice i
+    # and whose src lies in column slice j.
+    for k in range(r * c):
+        i, j = divmod(k, c)
+        rlo, rhi = part.row_range(i)
+        mine = edges[blocks == k]
+        assert ((rlo <= mine[:, 1]) & (mine[:, 1] < rhi)).all()
+        assert (part.owner_of(mine[:, 0]) % c == j).all()
+    assert np.bincount(blocks, minlength=p).sum() == len(edges)
+
+
+def test_grid_fallback_idle_ranks_own_nothing():
+    part = GridEdgePartition(np.ones(50, dtype=np.int64), 5, fallback=True)
+    assert (part.grid_rows, part.grid_cols) == (2, 2)
+    assert not part.is_active(4)
+    assert part.grid_coords(4) == (-1, -1)
+    assert part.n_owned(4) == 0
+    assert sum(part.n_owned(r) for r in range(5)) == 50
+
+
+def test_grid_rejects_prime_nparts_without_fallback():
+    with pytest.raises(GridShapeError):
+        GridEdgePartition(np.ones(50, dtype=np.int64), 7)
