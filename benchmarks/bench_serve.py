@@ -1,0 +1,230 @@
+"""Serving-tier benchmark: replica-group latency, throughput, saturation.
+
+Measures the replicated serving tier (:mod:`repro.serve`) the way a
+capacity planner would, at 1 and 2 replicas over the same graph:
+
+1. **Closed loop** — a fixed client pool issues queries back to back:
+   best-case service latency (p50/p95/p99) and sustainable throughput at
+   that concurrency.
+2. **Open loop** — Poisson arrivals at a rate pegged to the measured
+   closed-loop capacity; latency includes queueing delay, and the
+   admission controller's sheds are counted rather than hidden.
+3. **Saturation sweep** — open-loop runs at 0.5x / 1x / 4x of measured
+   capacity.  Past the knee the group must *shed* (bounded latency for
+   admitted queries) instead of letting queues grow without bound: the
+   bench asserts sheds appear at the overload point and that completed
+   queries never error.
+
+The workload is the serving mix the router was designed for: hot-keyed
+point queries (``bfs``, ``ppr`` — consistent-hash affinity makes them
+cache hits after the first miss) plus occasional global ``pagerank``.
+
+Run as a pytest-benchmark suite (``pytest benchmarks/bench_serve.py``) or
+as a CLI::
+
+    python benchmarks/bench_serve.py --write   # record BENCH_serve.json
+    python benchmarks/bench_serve.py --smoke   # CI guard: fail on >2x
+                                               # regression of the shape
+
+The smoke guard compares load-invariant *ratios* (replica-scaling of
+closed-loop throughput, p99/p50 tail spread), not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:  # CLI invocation from anywhere
+    sys.path.insert(0, str(BENCH_DIR))
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+from _common import fmt_table
+from repro.serve import ReplicaGroup, Workload, closed_loop, open_loop
+
+NRANKS = 2
+REPLICA_COUNTS = (1, 2)  # acceptance: sweep at >= 2 replica counts
+MIX = {"bfs": 0.55, "ppr": 0.25, "pagerank": 0.2}
+PARAMS = {"ppr": {"max_iters": 6}, "pagerank": {"max_iters": 6}}
+BASELINE = BENCH_DIR / "BENCH_serve.json"
+
+
+def _graph(n: int, degree: int, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=(n * degree, 2), dtype=np.int64)
+
+
+def _measure_serve(n: int, degree: int, closed_queries: int,
+                   open_s: float, sweep_s: float,
+                   clients: int = 4, max_inflight: int = 8) -> dict:
+    edges = _graph(n, degree)
+    out: dict = {"meta": {"n": n, "m": len(edges), "nranks": NRANKS,
+                          "clients": clients,
+                          "max_inflight": max_inflight}}
+    for nrep in REPLICA_COUNTS:
+        wl = Workload(n, mix=MIX, params=PARAMS, hot_fraction=0.8,
+                      hot_pool=8, seed=17)
+        with ReplicaGroup(NRANKS, replicas=nrep,
+                          max_inflight=max_inflight,
+                          edges=edges, n=n) as group:
+            for _ in range(2):  # warm each replica's resident graph
+                group.query("pagerank", max_iters=6)
+
+            closed = closed_loop(group, wl, clients=clients,
+                                 n_queries=closed_queries, timeout=120.0)
+            assert closed.completed == closed_queries, "closed loop lost work"
+            assert closed.errors == 0
+
+            cap = max(1.0, closed.throughput)
+            opened = open_loop(group, wl, rate=0.8 * cap,
+                               duration_s=open_s, timeout=120.0)
+            sweep = []
+            for mult in (0.5, 1.0, 4.0):
+                s = open_loop(group, wl, rate=mult * cap,
+                              duration_s=sweep_s, timeout=120.0,
+                              seed=int(mult * 10))
+                assert s.errors == 0
+                sweep.append({"rate_multiple": mult, **s.to_dict()})
+            # Past the knee the admission controller must engage: the
+            # overload point sheds rather than queueing without bound.
+            assert sweep[-1]["sheds"] > 0, "no shedding at 4x capacity"
+
+            st = group.status()
+            out[f"replicas_{nrep}"] = {
+                "closed": closed.to_dict(),
+                "open": opened.to_dict(),
+                "sweep": sweep,
+                "router": st["router"],
+                "cache_totals": st["cache_totals"],
+            }
+    return out
+
+
+def _measure(smoke: bool) -> dict:
+    if smoke:
+        return _measure_serve(n=2_000, degree=4, closed_queries=24,
+                              open_s=1.0, sweep_s=0.6)
+    return _measure_serve(n=10_000, degree=6, closed_queries=150,
+                          open_s=4.0, sweep_s=2.0)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+def test_serve_smoke_scale(benchmark):
+    benchmark.pedantic(lambda: _measure(smoke=True), rounds=1, iterations=1)
+
+
+def test_report_serve(benchmark, report):
+    doc = benchmark.pedantic(lambda: _measure(smoke=False),
+                             rounds=1, iterations=1)
+    report("", _format(doc))
+
+
+def _format(doc: dict) -> str:
+    meta = doc["meta"]
+    rows = []
+    for nrep in REPLICA_COUNTS:
+        d = doc[f"replicas_{nrep}"]
+        c, o = d["closed"], d["open"]
+        rows.append([nrep, "closed", f"{c['throughput_qps']:.0f}",
+                     f"{c['p50_ms']:.1f}", f"{c['p95_ms']:.1f}",
+                     f"{c['p99_ms']:.1f}", c["sheds"],
+                     d["cache_totals"]["hits"]])
+        rows.append([nrep, "open 0.8x", f"{o['throughput_qps']:.0f}",
+                     f"{o['p50_ms']:.1f}", f"{o['p95_ms']:.1f}",
+                     f"{o['p99_ms']:.1f}", o["sheds"], ""])
+        for s in d["sweep"]:
+            rows.append([nrep, f"sweep {s['rate_multiple']}x",
+                         f"{s['throughput_qps']:.0f}",
+                         f"{s['p50_ms']:.1f}", f"{s['p95_ms']:.1f}",
+                         f"{s['p99_ms']:.1f}", s["sheds"], ""])
+    return fmt_table(
+        ["replicas", "mode", "qps", "p50 ms", "p95 ms", "p99 ms",
+         "sheds", "cache hits"],
+        rows,
+        title=f"SERVE: replica group on n={meta['n']:,} m={meta['m']:,} "
+              f"({meta['nranks']} ranks/replica, "
+              f"max_inflight={meta['max_inflight']})")
+
+
+# ---------------------------------------------------------------------------
+# CLI: --write records the baseline; --smoke guards against regression
+# ---------------------------------------------------------------------------
+def _ratios(doc: dict) -> dict[str, float]:
+    """Load-invariant shape of a measurement."""
+    out = {}
+    base_tp = doc["replicas_1"]["closed"]["throughput_qps"]
+    for nrep in REPLICA_COUNTS[1:]:
+        out[f"closed.scaling_x{nrep}"] = (
+            doc[f"replicas_{nrep}"]["closed"]["throughput_qps"]
+            / max(1e-9, base_tp))
+    for nrep in REPLICA_COUNTS:
+        c = doc[f"replicas_{nrep}"]["closed"]
+        out[f"closed.tail_spread_r{nrep}"] = (
+            c["p99_ms"] / max(1e-9, c["p50_ms"]))
+    return out
+
+
+def _compare(doc: dict, base: dict) -> list[str]:
+    want, got = _ratios(base), _ratios(doc)
+    failures = []
+    for key, base_ratio in want.items():
+        now = got.get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if key.startswith("closed.scaling") and now < base_ratio / 2.0:
+            failures.append(
+                f"{key}: {now:.2f} vs baseline {base_ratio:.2f} "
+                f"(>2x regression)")
+        elif key.startswith("closed.tail") and now > base_ratio * 10.0:
+            failures.append(
+                f"{key}: tail spread {now:.1f} vs baseline "
+                f"{base_ratio:.1f} (>10x blow-up)")
+        else:
+            print(f"ok: {key} {now:.2f} (baseline {base_ratio:.2f})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes; compare against the recorded "
+                         "baseline and fail on shape regression")
+    ap.add_argument("--write", action="store_true",
+                    help="record the measurement as the new baseline")
+    ap.add_argument("--json", type=Path, default=BASELINE,
+                    help=f"baseline path (default {BASELINE.name})")
+    args = ap.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    doc = _measure(smoke=args.smoke)
+    print(_format(doc))
+    print()
+
+    stored = (json.loads(args.json.read_text())
+              if args.json.exists() else {"version": 1})
+    if args.write or mode not in stored:
+        stored[mode] = doc
+        args.json.write_text(json.dumps(stored, indent=2) + "\n")
+        print(f"baseline[{mode}] written: {args.json}")
+        return 0
+
+    failures = _compare(doc, stored[mode])
+    if failures:
+        print("\n".join("REGRESSION: " + f for f in failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -399,6 +399,121 @@ def _summarize_result(kind: str, res) -> str:
     return str(res)
 
 
+def _serve_group(args: argparse.Namespace, queries: list,
+                 backend: str) -> int:
+    """``repro serve --replicas N``: the replicated serving tier."""
+    import json
+
+    from .serve import ReplicaGroup, ShedError
+
+    t0 = time.perf_counter()
+    group = ReplicaGroup(
+        args.ranks, replicas=args.replicas,
+        max_inflight=args.max_inflight,
+        snapshot_reads=args.snapshot_reads,
+        path=args.input, width=args.width, partition=args.partition,
+        checkpoint=args.checkpoint, save_checkpoint=args.save_checkpoint,
+        max_pending=args.max_pending, batch_window=args.batch_window,
+        cache_capacity=args.cache, default_timeout=args.timeout,
+        backend=backend,
+    )
+    build_s = time.perf_counter() - t0
+    eng0 = group.replicas[0].engine
+    print(f"replica group up: {args.replicas} replicas x {args.ranks} "
+          f"ranks ({eng0.backend}), n={eng0.n_global:,}, "
+          f"m={eng0.m_global:,}, {args.partition} partitioning, "
+          f"snapshot reads {'on' if args.snapshot_reads else 'off'}, "
+          f"built in {build_s:.3f} s")
+    try:
+        # Live update feed: split the update file into batches and
+        # interleave them with the query stream (wait='none' — replicas
+        # catch up by replaying the shared log while queries keep going).
+        batches = []
+        if args.updates is not None:
+            from .stream import read_updates_text, split_batch
+
+            whole = read_updates_text(args.updates)
+            size = args.update_batch or whole.n or 1
+            batches = split_batch(whole, size) if whole.n else []
+        feed_every = (max(1, len(queries) // len(batches))
+                      if batches else None)
+
+        tickets: list = []
+        sheds = 0
+
+        def drain():
+            # In-flight slots (and snapshot leases) are released at
+            # result(): reaping tickets is what opens admission back up
+            # after a shed.
+            for ticket, kind in tickets:
+                res = group.result(ticket, timeout=args.timeout)
+                lat = time.monotonic() - ticket.t_submit
+                epoch = ("live" if ticket.at_epoch is None
+                         else f"E{ticket.at_epoch}")
+                print(f"  {kind:<10} {lat * 1e3:9.2f} ms  "
+                      f"[rep {ticket.replica_id}|{epoch:>5}]  "
+                      f"{_summarize_result(kind, res)}")
+            tickets.clear()
+
+        t0 = time.perf_counter()
+        for i, (kind, params) in enumerate(queries):
+            if feed_every is not None and i % feed_every == 0 and batches:
+                b = batches.pop(0)
+                out = group.apply_updates(b.src, b.dst, b.op, b.values,
+                                          wait="none")
+                print(f"  fed update batch seq {out['seq']} "
+                      f"({out['n_updates']} updates)")
+            while True:
+                try:
+                    tickets.append((group.submit(kind, **params), kind))
+                    break
+                except ShedError as exc:
+                    sheds += 1
+                    if tickets:
+                        drain()  # free slots + leases, then retry
+                    else:
+                        time.sleep(min(0.5, exc.retry_after_s))
+        for b in batches:  # leftovers (more batches than queries)
+            group.apply_updates(b.src, b.dst, b.op, b.values, wait="none")
+        drain()
+        serve_s = time.perf_counter() - t0
+        if not group.sync(timeout=args.timeout):
+            print("warning: replicas did not converge before timeout",
+                  file=sys.stderr)
+        status = group.status()
+        nq = len(queries)
+        print(f"served {nq} queries in {serve_s:.3f} s "
+              f"({serve_s / max(nq, 1) * 1e3:.2f} ms/query amortized; "
+              f"{sheds} sheds; cold build was {build_s:.3f} s)")
+        if args.status_json:
+            print(json.dumps(status, indent=2))
+        else:
+            r, lg = status["router"], status["log"]
+            ct = status["cache_totals"]
+            print(f"  router: {r['routed']} routed "
+                  f"({r['point']} point / {r['global']} global), "
+                  f"{r['spills']} spills, {r['sheds']} sheds")
+            print(f"  log: {lg['appended']} batches appended, "
+                  f"head seq {lg['head_seq']}, "
+                  f"{lg['retained']} retained")
+            print(f"  cache totals: {ct['hits']} hits / {ct['misses']} "
+                  f"misses, {ct['evictions']} evicted, "
+                  f"{ct['invalidations']} invalidated")
+            for rs in status["per_replica"]:
+                c = rs["cache"]
+                pins = sum(rs["snapshots"]["pinned"].values())
+                print(f"  replica {rs['id']}: epoch {rs['epoch']}, "
+                      f"seq {rs['applied_seq']}, "
+                      f"{rs['jobs']['completed']} jobs, cache "
+                      f"{c['hits']}h/{c['misses']}m/{c['evictions']}e/"
+                      f"{c['invalidations']}i "
+                      f"(rate {c['hit_rate']:.0%}), {pins} pins, "
+                      f"ewma {rs['ewma_latency_s'] * 1e3:.1f} ms")
+    finally:
+        group.shutdown()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -421,6 +536,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     queries = queries * args.repeat
+
+    if args.replicas > 1:
+        return _serve_group(args, queries, backend)
 
     t0 = time.perf_counter()
     engine = AnalyticsEngine(
@@ -489,8 +607,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"{j['batches']} dispatches "
                   f"(largest batch {j['max_batch_size']})")
             print(f"  cache: {c['hits']} hits / {c['misses']} misses "
-                  f"(rate {c['hit_rate']:.0%}), {c['size']}/{c['capacity']} "
-                  f"entries")
+                  f"(rate {c['hit_rate']:.0%}), {c['evictions']} evicted, "
+                  f"{c['invalidations']} invalidated, "
+                  f"{c['size']}/{c['capacity']} entries")
             print(f"  comm: {m['bytes_sent'] / 1e6:.2f} MB sent over "
                   f"{m['n_collectives']} collectives, "
                   f"idle {m['idle_s']:.3f} s, xfer {m['comm_s']:.3f} s")
@@ -766,7 +885,22 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--updates", type=Path, default=None,
                    help="edge-update file ('[+|-] src dst [w]' per line); "
                         "applied after the first workload pass, then the "
-                        "workload replays against the updated graph")
+                        "workload replays against the updated graph (with "
+                        "--replicas N: fed live, interleaved with queries)")
+    s.add_argument("--replicas", type=int, default=1,
+                   help="serve through a replica group of this many engine "
+                        "replicas (consistent-hash routing, admission "
+                        "control, shared update log); 1 = single engine")
+    s.add_argument("--max-inflight", type=int, default=8,
+                   help="per-replica in-flight admission bound before the "
+                        "router spills / sheds (replica group only)")
+    s.add_argument("--snapshot-reads", action="store_true",
+                   help="pin every read to its replica's current epoch "
+                        "(MVCC snapshot isolation; replica group only)")
+    s.add_argument("--update-batch", type=int, default=0,
+                   help="split --updates into batches of this many updates "
+                        "for live feeding (replica group only; 0 = one "
+                        "batch)")
     s.add_argument("--status-json", action="store_true",
                    help="dump the final engine status as JSON")
     s.add_argument("--width", type=int, default=32, choices=(32, 64))

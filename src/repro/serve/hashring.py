@@ -1,0 +1,85 @@
+"""Consistent-hash ring with virtual nodes for cache-affinity routing.
+
+The router's goal is not load balancing alone: repeating point queries
+(same BFS source, same PPR seed) should land on the *same* replica so its
+:class:`~repro.service.ResultCache` serves them, while adding or removing
+a replica remaps only ``~1/N`` of the key space (the classic consistent-
+hashing property — see Karger et al.; the virtual-node refinement keeps
+the per-replica share of the ring even).
+
+Keys and node ids are hashed with ``blake2b`` (stable across processes
+and Python versions, unlike :func:`hash`), and the ring is a sorted array
+of ``(point, node)`` pairs probed by binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data.encode(), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring over hashable node ids."""
+
+    def __init__(self, nodes: Iterable[int | str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: list[int | str] = []
+        self._points: list[int] = []
+        self._owners: list[int | str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Sequence[int | str]:
+        return tuple(self._nodes)
+
+    def add(self, node: int | str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for v in range(self.vnodes):
+            p = _point(f"{node!r}#{v}")
+            i = bisect.bisect_left(self._points, p)
+            self._points.insert(i, p)
+            self._owners.insert(i, node)
+
+    def remove(self, node: int | str) -> None:
+        self._nodes.remove(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def node_for(self, key: str) -> int | str:
+        """Primary owner of a key (first vnode clockwise of its point)."""
+        return next(self.walk(key))
+
+    def walk(self, key: str) -> Iterator[int | str]:
+        """All nodes in ring order from the key's primary, each once.
+
+        This is the router's spill order: if the primary replica is
+        saturated, the next distinct node clockwise takes the query —
+        deterministic per key, so a key's spill target is sticky too.
+        """
+        if not self._nodes:
+            raise LookupError("hash ring is empty")
+        start = bisect.bisect_right(self._points, _point(key))
+        seen: set[int | str] = set()
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner

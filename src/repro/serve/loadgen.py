@@ -1,0 +1,248 @@
+"""Open- and closed-loop load generation against a replica group.
+
+Two standard load models (Schroeder et al.'s open-vs-closed distinction):
+
+* **Closed loop** — ``clients`` workers, each issuing its next query as
+  soon as the previous one returns (think a fixed worker pool).  Measures
+  best-case service latency and the group's sustainable throughput at a
+  given concurrency.
+* **Open loop** — queries *arrive* on a Poisson process at ``rate`` per
+  second regardless of completions (think the public internet).  Latency
+  here includes queueing delay, and once the offered rate crosses the
+  service capacity the only bounded-latency response is to shed — which
+  the router does, and which the generator counts and retries.
+
+A :func:`saturation_sweep` runs the open loop at increasing rates; the
+knee where achieved throughput flattens and p99 blows up is the group's
+saturation point, the headline number ``benchmarks/bench_serve.py``
+records per replica count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .group import ReplicaGroup
+from .router import ShedError
+
+__all__ = ["LoadStats", "Workload", "closed_loop", "open_loop",
+           "saturation_sweep"]
+
+
+class Workload:
+    """Random query mix with a hot set (cache-hittable repeats).
+
+    ``mix`` maps kind -> weight; point kinds draw their vertex from a
+    small hot pool with probability ``hot_fraction`` (zipf-ish serving
+    skew — hub vertices get queried over and over) and uniformly
+    otherwise.
+    """
+
+    def __init__(self, n: int, *, mix: dict[str, float] | None = None,
+                 hot_fraction: float = 0.8, hot_pool: int = 8,
+                 seed: int = 0, params: dict | None = None):
+        self.n = int(n)
+        mix = mix or {"bfs": 0.5, "ppr": 0.3, "pagerank": 0.2}
+        kinds = sorted(mix)
+        w = np.array([mix[k] for k in kinds], dtype=np.float64)
+        self._kinds = kinds
+        self._weights = w / w.sum()
+        self.hot_fraction = float(hot_fraction)
+        self._rng = np.random.default_rng(seed)
+        self._hot = self._rng.integers(0, n, size=max(1, hot_pool))
+        self._params = params or {}
+        self._lock = threading.Lock()
+
+    def _vertex(self, rng) -> int:
+        if rng.random() < self.hot_fraction:
+            return int(self._hot[rng.integers(0, len(self._hot))])
+        return int(rng.integers(0, self.n))
+
+    def sample(self) -> tuple[str, dict]:
+        """One (kind, params) draw; thread-safe."""
+        with self._lock:
+            rng = self._rng
+            kind = rng.choice(self._kinds, p=self._weights)
+            if kind == "bfs":
+                return "bfs", {"source": self._vertex(rng)}
+            if kind == "closeness":
+                return "closeness", {"vertex": self._vertex(rng)}
+            if kind == "ppr":
+                return "ppr", {"seed": self._vertex(rng),
+                               **self._params.get("ppr", {})}
+            return str(kind), dict(self._params.get(str(kind), {}))
+
+
+@dataclass
+class LoadStats:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    duration_s: float
+    completed: int
+    sheds: int
+    errors: int
+    latencies_s: list[float] = field(repr=False, default_factory=list)
+    offered_rate: float | None = None
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "duration_s": self.duration_s,
+            "completed": self.completed,
+            "sheds": self.sheds,
+            "errors": self.errors,
+            "throughput_qps": self.throughput,
+            "offered_rate_qps": self.offered_rate,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+def closed_loop(group: ReplicaGroup, workload: Workload, *,
+                clients: int = 4, n_queries: int = 100,
+                timeout: float = 60.0) -> LoadStats:
+    """``clients`` workers issue ``n_queries`` total, back to back.
+
+    A shed backs off for the router's ``retry_after_s`` and retries the
+    same query (closed-loop semantics: the client waits, the query is
+    not lost), so ``completed`` always reaches ``n_queries`` unless hard
+    errors intervene.
+    """
+    counter = {"next": 0}
+    lock = threading.Lock()
+    lats: list[float] = []
+    sheds = [0]
+    errors = [0]
+
+    def worker():
+        while True:
+            with lock:
+                if counter["next"] >= n_queries:
+                    return
+                counter["next"] += 1
+            kind, params = workload.sample()
+            t0 = time.monotonic()
+            while True:
+                try:
+                    group.query(kind, timeout=timeout, **params)
+                    with lock:
+                        lats.append(time.monotonic() - t0)
+                    break
+                except ShedError as exc:
+                    with lock:
+                        sheds[0] += 1
+                    time.sleep(min(0.5, exc.retry_after_s))
+                except Exception:
+                    with lock:
+                        errors[0] += 1
+                    break
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(clients)]
+    t_start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return LoadStats(mode="closed", duration_s=time.monotonic() - t_start,
+                     completed=len(lats), sheds=sheds[0], errors=errors[0],
+                     latencies_s=lats)
+
+
+def open_loop(group: ReplicaGroup, workload: Workload, *,
+              rate: float, duration_s: float, timeout: float = 60.0,
+              collectors: int = 8, seed: int = 0) -> LoadStats:
+    """Poisson arrivals at ``rate``/s for ``duration_s`` seconds.
+
+    Latency is measured **arrival to completion** (queueing included).
+    A shed is terminal for that arrival — open-loop traffic does not
+    wait around — so under saturation ``sheds`` grows while latency of
+    the admitted fraction stays bounded: exactly the admission-control
+    contract under test.
+    """
+    rng = np.random.default_rng(seed)
+    pending: list = []
+    lock = threading.Lock()
+    have = threading.Condition(lock)
+    lats: list[float] = []
+    sheds = [0]
+    errors = [0]
+    done = [False]
+
+    def collector():
+        while True:
+            with have:
+                while not pending and not done[0]:
+                    have.wait(0.05)
+                if not pending and done[0]:
+                    return
+                ticket, t_arr = pending.pop(0)
+            try:
+                group.result(ticket, timeout=timeout)
+                with lock:
+                    lats.append(time.monotonic() - t_arr)
+            except Exception:
+                with lock:
+                    errors[0] += 1
+
+    workers = [threading.Thread(target=collector, daemon=True)
+               for _ in range(collectors)]
+    for w in workers:
+        w.start()
+    t_start = time.monotonic()
+    t_next = t_start
+    while True:
+        now = time.monotonic()
+        if now - t_start >= duration_s:
+            break
+        if now < t_next:
+            time.sleep(min(t_next - now, 0.01))
+            continue
+        t_next += float(rng.exponential(1.0 / rate))
+        kind, params = workload.sample()
+        t_arr = time.monotonic()
+        try:
+            ticket = group.submit(kind, timeout=timeout, **params)
+        except ShedError:
+            with lock:
+                sheds[0] += 1
+            continue
+        except Exception:
+            with lock:
+                errors[0] += 1
+            continue
+        with have:
+            pending.append((ticket, t_arr))
+            have.notify()
+    with have:
+        done[0] = True
+        have.notify_all()
+    for w in workers:
+        w.join()
+    return LoadStats(mode="open", duration_s=time.monotonic() - t_start,
+                     completed=len(lats), sheds=sheds[0], errors=errors[0],
+                     latencies_s=lats, offered_rate=float(rate))
+
+
+def saturation_sweep(group: ReplicaGroup, workload: Workload, *,
+                     rates: list[float], duration_s: float = 2.0,
+                     timeout: float = 60.0) -> list[LoadStats]:
+    """Open-loop runs at each offered rate (the saturation curve)."""
+    return [open_loop(group, workload, rate=r, duration_s=duration_s,
+                      timeout=timeout, seed=int(r * 1000) % 65537)
+            for r in rates]

@@ -1,0 +1,93 @@
+"""Snapshot registry: shared, reference-counted MVCC leases per replica.
+
+:meth:`AnalyticsEngine.pin_snapshot` costs one scheduler round-trip, so
+pinning per query would serialize the read path.  The registry amortizes
+it: all queries arriving at one replica while it sits at epoch E share a
+single engine pin through one :class:`SnapshotLease`; the engine pin is
+released only when the last lease-holder finishes *and* the replica has
+moved past E.  While any lease is live the engine keeps E's materialized
+view resident and defers delta-CSR compaction (see DESIGN §16) — the
+registry is what releases that pin promptly on query completion, so
+compaction is deferred for the duration of in-flight reads, not forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["SnapshotLease", "SnapshotRegistry"]
+
+
+@dataclass
+class SnapshotLease:
+    """One query's hold on a pinned epoch (release exactly once)."""
+
+    registry: "SnapshotRegistry"
+    epoch: int
+    _released: bool = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.registry.release(self.epoch)
+
+
+class SnapshotRegistry:
+    """Reference-counted epoch pins for one replica's engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._lock = threading.Lock()
+        self._refs: dict[int, int] = {}  # epoch -> live leases
+        self._engine_pins: dict[int, int] = {}  # epoch -> engine pins held
+        self._acquired = 0
+        self._pins = 0  # actual engine round-trips
+
+    def acquire(self, *, timeout: float | None = None) -> SnapshotLease:
+        """Lease the engine's current epoch, pinning it on first use.
+
+        The first lease at a given epoch performs the engine pin (a
+        scheduler round-trip, serialized with updates — so it captures a
+        well-defined epoch); later leases while that epoch is still
+        pinned just bump the refcount.
+        """
+        with self._lock:
+            epoch = self.engine.epoch
+            if self._refs.get(epoch, 0) > 0:
+                self._refs[epoch] += 1
+                self._acquired += 1
+                return SnapshotLease(self, epoch)
+        # Pin outside the lock (it blocks on the engine's dispatcher).
+        # Two racing first-leases may both pin; engine pins are
+        # refcounted, and ``_engine_pins`` remembers how many this
+        # registry owes back when the epoch's last lease drops.
+        epoch = self.engine.pin_snapshot(timeout=timeout)
+        with self._lock:
+            self._refs[epoch] = self._refs.get(epoch, 0) + 1
+            self._engine_pins[epoch] = self._engine_pins.get(epoch, 0) + 1
+            self._acquired += 1
+            self._pins += 1
+        return SnapshotLease(self, epoch)
+
+    def release(self, epoch: int) -> None:
+        with self._lock:
+            refs = self._refs.get(epoch, 0)
+            if refs <= 0:
+                raise ValueError(f"epoch {epoch} has no live lease")
+            self._refs[epoch] = refs - 1
+            owed = 0
+            if refs == 1:
+                del self._refs[epoch]
+                owed = self._engine_pins.pop(epoch, 0)
+        for _ in range(owed):
+            self.engine.release_snapshot(epoch)
+
+    def live_epochs(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self._refs)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"acquired": self._acquired, "engine_pins": self._pins,
+                    "live": dict(self._refs)}

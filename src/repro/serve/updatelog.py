@@ -1,0 +1,101 @@
+"""Shared sequenced update log: the replica group's replication stream.
+
+Writes enter the group once, are assigned a monotone sequence number
+here, and every replica replays the same entries in the same order
+through its engine's owner-routed ``apply_updates`` path.  Determinism of
+:meth:`~repro.stream.DynamicDistGraph.apply` (batch semantics are
+order-independent across ranks, order-dependent across *batches* — which
+the log fixes) is what makes replayed replicas bitwise-equal to ones that
+applied the batches live, the property tests/test_stream_replay.py pins
+down.
+
+Entries are retained until every replica has acknowledged them
+(:meth:`truncate_below`), bounding memory under steady-state streaming.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LogEntry", "UpdateLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One sequenced update batch (global ids, engine-ready arrays)."""
+
+    seq: int
+    src: np.ndarray
+    dst: np.ndarray
+    op: np.ndarray
+    values: np.ndarray | None
+
+
+class UpdateLog:
+    """Append-only, sequence-numbered, truncatable batch log."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: list[LogEntry] = []
+        self._head = 0  # seq of the next append
+        self._tail = 0  # smallest retained seq
+        self._appended = 0
+
+    def append(self, src, dst, op=None, values=None) -> LogEntry:
+        """Sequence one batch; arrays are normalized and frozen here so
+        every replica replays identical bytes."""
+        src = np.ascontiguousarray(src, dtype=np.int64).reshape(-1)
+        dst = np.ascontiguousarray(dst, dtype=np.int64).reshape(-1)
+        if op is None:
+            op = np.ones(len(src), dtype=np.int64)
+        else:
+            op = np.ascontiguousarray(op, dtype=np.int64).reshape(-1)
+        if values is not None:
+            values = np.ascontiguousarray(
+                values, dtype=np.float64).reshape(-1)
+        for arr in (src, dst, op, values):
+            if arr is not None:
+                arr.setflags(write=False)
+        with self._lock:
+            entry = LogEntry(self._head, src, dst, op, values)
+            self._entries.append(entry)
+            self._head += 1
+            self._appended += 1
+        return entry
+
+    @property
+    def head_seq(self) -> int:
+        """Sequence number the *next* append will get."""
+        with self._lock:
+            return self._head
+
+    def since(self, seq: int) -> list[LogEntry]:
+        """Retained entries with ``entry.seq >= seq`` in order.
+
+        Raises :class:`LookupError` when ``seq`` predates the retained
+        window — the caller fell behind a truncation and must resync
+        from a full snapshot instead of the log.
+        """
+        with self._lock:
+            if seq < self._tail:
+                raise LookupError(
+                    f"log truncated: seq {seq} < retained tail {self._tail}")
+            return self._entries[seq - self._tail:]
+
+    def truncate_below(self, seq: int) -> int:
+        """Drop entries with ``entry.seq < seq``; returns #dropped."""
+        with self._lock:
+            seq = min(seq, self._head)
+            drop = max(0, seq - self._tail)
+            if drop:
+                del self._entries[:drop]
+                self._tail = seq
+            return drop
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"appended": self._appended, "head_seq": self._head,
+                    "tail_seq": self._tail, "retained": len(self._entries)}

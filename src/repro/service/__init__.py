@@ -25,6 +25,7 @@ from .engine import (
     EngineClosedError,
     JobFailedError,
     JobTimeoutError,
+    SnapshotUnavailableError,
 )
 from .scheduler import AdmissionError, Job, JobScheduler
 
@@ -39,5 +40,6 @@ __all__ = [
     "EngineClosedError",
     "JobFailedError",
     "JobTimeoutError",
+    "SnapshotUnavailableError",
     "SERVING_KINDS",
 ]

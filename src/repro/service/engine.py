@@ -75,12 +75,17 @@ __all__ = [
     "EngineClosedError",
     "JobFailedError",
     "JobTimeoutError",
+    "SnapshotUnavailableError",
     "SERVING_KINDS",
 ]
 
 
 class EngineClosedError(RuntimeError):
     """The engine has been shut down; no further queries are accepted."""
+
+
+class SnapshotUnavailableError(RuntimeError):
+    """A query named an epoch that is neither current nor pinned."""
 
 
 class JobFailedError(RuntimeError):
@@ -243,6 +248,96 @@ def _ppr_split(jobs: list[Job], payload: dict) -> list[Any]:
             for j, job in enumerate(jobs)]
 
 
+def _ensure_dyn(comm, state):
+    """Promote the resident shard to a dynamic graph (idempotent).
+
+    Promotion sorts the base adjacency in place, so it must happen
+    *before* anything captures ``state["graph"]`` as a stable snapshot —
+    which is why snapshot pins promote eagerly instead of waiting for
+    the first update batch.  After promotion ``state["graph"]`` always
+    holds the dynamic graph's epoch-tagged immutable materialized view.
+    """
+    from ..stream import DynamicDistGraph
+
+    dyn = state.get("dyn")
+    if dyn is None:
+        dyn = DynamicDistGraph(comm, state["graph"])
+        state["dyn"] = dyn
+        state["graph"] = dyn.view()
+    return dyn
+
+
+def _make_snapshot_pin(_p):
+    """Pin the current epoch on every rank and retain its view.
+
+    The retained view is the MVCC snapshot: an immutable
+    :class:`~repro.graph.DistGraph` whose arrays survive later applies
+    (overlays copy-on-merge) because the pin also blocks compaction —
+    the only operation that would reassign the local-id space the view
+    indexes.  Pins are reference-counted per epoch.
+    """
+
+    def fn(comm, state):
+        with comm.region("engine.snapshot_pin"):
+            dyn = _ensure_dyn(comm, state)
+            epoch = dyn.pin_epoch()
+            snaps = state.setdefault("snapshots", {})
+            if epoch not in snaps:
+                snaps[epoch] = dyn.view()
+            if comm.rank:
+                return None
+            return int(epoch)
+
+    return fn
+
+
+def _make_snapshot_release(p: dict):
+    epoch = int(p["epoch"])
+
+    def fn(comm, state):
+        dyn = state.get("dyn")
+        snaps = state.get("snapshots", {})
+        if dyn is None or epoch not in snaps:
+            raise SnapshotUnavailableError(
+                f"epoch {epoch} is not pinned on this replica")
+        dyn.release_epoch(epoch)
+        drop = epoch not in dyn.pinned_epochs()
+        if drop:
+            del snaps[epoch]
+        if comm.rank:
+            return None
+        return {"epoch": epoch, "dropped": drop}
+
+    return fn
+
+
+def _make_at_epoch(p: dict):
+    """Wrap another kind's factory to run it against a pinned snapshot.
+
+    The inner analytic sees a shallow-copied rank state whose
+    ``"graph"`` is the pinned epoch's materialized view (or the live
+    graph when the epoch is still current), so every query kind gains
+    ``at_epoch=`` without snapshot-specific code.
+    """
+    inner = globals()[p["factory"]](p["payload"])
+    epoch = int(p["epoch"])
+
+    def fn(comm, state):
+        dyn = state.get("dyn")
+        current = dyn.epoch if dyn is not None else 0
+        if epoch == current:
+            return inner(comm, state)
+        g = state.get("snapshots", {}).get(epoch)
+        if g is None:
+            raise SnapshotUnavailableError(
+                f"epoch {epoch} is neither current ({current}) nor pinned")
+        shadow = dict(state)
+        shadow["graph"] = g
+        return inner(comm, shadow)
+
+    return fn
+
+
 def _make_stream_apply(p: dict):
     """Apply one edge-update batch to the resident graph (collective).
 
@@ -254,13 +349,10 @@ def _make_stream_apply(p: dict):
     """
 
     def fn(comm, state):
-        from ..stream import DynamicDistGraph, UpdateBatch
+        from ..stream import UpdateBatch
 
         with comm.region("engine.stream_apply"):
-            dyn = state.get("dyn")
-            if dyn is None:
-                dyn = DynamicDistGraph(comm, state["graph"])
-                state["dyn"] = dyn
+            dyn = _ensure_dyn(comm, state)
             sl = np.array_split(np.arange(len(p["src"])), comm.size)[comm.rank]
             batch = UpdateBatch(
                 p["src"][sl], p["dst"][sl], p["op"][sl],
@@ -284,6 +376,7 @@ def _make_stream_apply(p: dict):
                 "n_missing": res.n_missing,
                 "ghosts_changed": res.ghosts_changed,
                 "compacted": res.compacted,
+                "compaction_deferred": res.compaction_deferred,
                 "m_global": res.m_global,
                 "affected_ranks": [r for r, a in enumerate(affected) if a],
                 "batch_crc": crc,
@@ -356,6 +449,15 @@ _KINDS: dict[str, _KindSpec] = {
     "_stream_apply": _KindSpec("_stream_apply", "_make_stream_apply",
                                _first_params, _single_split,
                                cacheable=False),
+    # MVCC snapshot control (serialized with queries and updates by the
+    # dispatcher, so a pin captures a well-defined epoch).
+    "_snapshot_pin": _KindSpec("_snapshot_pin", "_make_snapshot_pin",
+                               lambda jobs: None, _single_split,
+                               cacheable=False),
+    "_snapshot_release": _KindSpec("_snapshot_release",
+                                   "_make_snapshot_release",
+                                   _first_params, _single_split,
+                                   cacheable=False),
     # Test/ops hooks: deliberately failing and slow jobs.
     "_debug_fail": _KindSpec("_debug_fail", "_make_debug_fail",
                              _first_params, _single_split, cacheable=False),
@@ -573,9 +675,14 @@ class AnalyticsEngine:
         self.epoch = 0
         self._stream = {
             "batches_applied": 0, "edges_inserted": 0, "edges_deleted": 0,
-            "missing_deletes": 0, "compactions": 0, "ghost_rebuilds": 0,
+            "missing_deletes": 0, "compactions": 0,
+            "compactions_deferred": 0, "ghost_rebuilds": 0,
             "cache_invalidated": 0,
         }
+        # MVCC snapshots: driver-side pin counts per epoch, and the graph
+        # fingerprint each epoch had (cache keys for at_epoch= queries).
+        self._snapshots: dict[int, int] = {}
+        self._epoch_fps: dict[int, str] = {0: self.fingerprint}
 
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="engine-dispatch", daemon=True)
@@ -614,6 +721,20 @@ class AnalyticsEngine:
                     job.finish(error=JobFailedError(
                         f"dispatch error: {exc}"))
 
+    def _fp_for(self, params: dict) -> str:
+        """Graph fingerprint keying one query's cache entries.
+
+        ``at_epoch=`` queries key on the fingerprint the graph had at
+        that epoch, so a pinned-snapshot result can never be confused
+        with (or shadow) the live graph's result for the same params.
+        """
+        at_epoch = params.get("at_epoch")
+        if at_epoch is None:
+            return self.fingerprint
+        with self._lock:
+            fp = self._epoch_fps.get(int(at_epoch))
+        return fp if fp is not None else f"epoch{at_epoch}?"
+
     def _execute_batch(self, batch: list[Job]) -> None:
         spec = _KINDS[batch[0].kind]
         if spec.cacheable:
@@ -623,7 +744,8 @@ class AnalyticsEngine:
             remaining = []
             for job in batch:
                 hit, value = self.cache.get(
-                    cache_key(self.fingerprint, job.kind, job.params))
+                    cache_key(self._fp_for(job.params), job.kind,
+                              job.params))
                 if hit:
                     with self._lock:
                         self._counters["cache_hits"] += 1
@@ -644,8 +766,16 @@ class AnalyticsEngine:
                 self._counters["max_batch_size"], len(batch))
             if len(batch) > 1:
                 self._counters["batched_jobs"] += len(batch)
-        results, errors = self._run_collective(
-            spec.factory, spec.payload(batch), timeout)
+        factory = spec.factory
+        payload = spec.payload(batch)
+        at_epoch = batch[0].params.get("at_epoch")
+        if at_epoch is not None:
+            # Redirect the whole batch at a pinned epoch's snapshot (the
+            # batch key includes at_epoch, so a batch is epoch-uniform).
+            factory = "_make_at_epoch"
+            payload = {"factory": spec.factory, "payload": payload,
+                       "epoch": int(at_epoch)}
+        results, errors = self._run_collective(factory, payload, timeout)
         if errors:
             cause = errors.get(-1) or _first_error(errors)
             with self._lock:
@@ -671,7 +801,8 @@ class AnalyticsEngine:
                 # of them, for today's global kinds), so streaming updates
                 # can invalidate by affected partition.
                 self.cache.put(
-                    cache_key(self.fingerprint, job.kind, job.params), res,
+                    cache_key(self._fp_for(job.params), job.kind,
+                              job.params), res,
                     tags=tuple(("part", r) for r in range(self.nranks)))
             job.finish(result=res)
 
@@ -691,6 +822,8 @@ class AnalyticsEngine:
             self._stream["edges_deleted"] += res["n_deleted"]
             self._stream["missing_deletes"] += res["n_missing"]
             self._stream["compactions"] += int(res["compacted"])
+            self._stream["compactions_deferred"] += int(
+                res.get("compaction_deferred", False))
             self._stream["ghost_rebuilds"] += int(res["ghosts_changed"])
             self.epoch = res["epoch"]
             if effective:
@@ -698,6 +831,12 @@ class AnalyticsEngine:
                 self.fingerprint = hashlib.sha1(
                     f"{self.fingerprint}:{res['epoch']}:"
                     f"{res['batch_crc']}".encode()).hexdigest()[:16]
+            # Track each epoch's fingerprint for at_epoch cache keys;
+            # drop stale unpinned entries.
+            self._epoch_fps[res["epoch"]] = self.fingerprint
+            for e in [e for e in self._epoch_fps
+                      if e < res["epoch"] - 8 and e not in self._snapshots]:
+                del self._epoch_fps[e]
         if effective:
             n_inv = self.cache.invalidate(
                 ("part", r) for r in res["affected_ranks"])
@@ -724,19 +863,31 @@ class AnalyticsEngine:
         if spec is None:
             raise ValueError(
                 f"unknown analytic kind {kind!r}; serving {SERVING_KINDS}")
+        at_epoch = params.get("at_epoch")
+        if at_epoch is not None:
+            at_epoch = int(at_epoch)
+            params["at_epoch"] = at_epoch
+            with self._lock:
+                known = at_epoch == self.epoch or at_epoch in self._snapshots
+            if not known:
+                raise SnapshotUnavailableError(
+                    f"epoch {at_epoch} is neither current ({self.epoch}) "
+                    "nor pinned; pin_snapshot() first")
         with self._lock:
             job_id = self._next_id
             self._next_id += 1
             self._counters["submitted"] += 1
         batch_key = None
         if spec.batch_params is not None:
-            batch_key = (kind,) + tuple(
+            # at_epoch joins the key so queries against different pinned
+            # snapshots never coalesce into one multi-source run.
+            batch_key = (kind, ("at_epoch", at_epoch)) + tuple(
                 (p, params.get(p)) for p in spec.batch_params)
         job = Job(id=job_id, kind=kind, params=dict(params),
                   batch_key=batch_key, timeout=timeout)
         if spec.cacheable:
             hit, value = self.cache.get(
-                cache_key(self.fingerprint, kind, params))
+                cache_key(self._fp_for(params), kind, params))
             if hit:
                 with self._lock:
                     self._counters["cache_hits"] += 1
@@ -811,6 +962,38 @@ class AnalyticsEngine:
             "_stream_apply", timeout=timeout,
             src=src, dst=dst, op=op, values=values))
 
+    def pin_snapshot(self, *, timeout: float | None = None) -> int:
+        """Pin the current epoch for MVCC reads; returns the epoch.
+
+        The pin is dispatched through the scheduler, so it captures a
+        well-defined epoch (serialized with updates).  Until released,
+        the epoch's materialized view is retained on every rank,
+        compaction is deferred, and any query may name it via
+        ``at_epoch=``.  Pins are reference-counted.
+        """
+        epoch = self.result(self.submit("_snapshot_pin", timeout=timeout))
+        with self._lock:
+            self._snapshots[epoch] = self._snapshots.get(epoch, 0) + 1
+            self._epoch_fps.setdefault(epoch, self.fingerprint)
+        return epoch
+
+    def release_snapshot(self, epoch: int, *,
+                         timeout: float | None = None) -> dict:
+        """Release one reference to a pinned epoch."""
+        epoch = int(epoch)
+        with self._lock:
+            if self._snapshots.get(epoch, 0) <= 0:
+                raise SnapshotUnavailableError(
+                    f"epoch {epoch} is not pinned")
+        res = self.result(self.submit("_snapshot_release", timeout=timeout,
+                                      epoch=epoch))
+        with self._lock:
+            if self._snapshots.get(epoch, 0) <= 1:
+                self._snapshots.pop(epoch, None)
+            else:
+                self._snapshots[epoch] -= 1
+        return res
+
     # ------------------------------------------------------------------
     def pause(self) -> None:
         """Stop dispatching (queued jobs accumulate; used for batch demos)."""
@@ -825,7 +1008,10 @@ class AnalyticsEngine:
             counters = dict(self._counters)
             comm = dict(self._comm_totals)
             stream = dict(self._stream)
+            snapshots = dict(self._snapshots)
         return {
+            "snapshots": {"pinned": snapshots,
+                          "epochs_tracked": len(self._epoch_fps)},
             "nranks": self.nranks,
             "backend": self.backend,
             "n_global": self.n_global,

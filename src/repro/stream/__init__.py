@@ -8,7 +8,12 @@ The subsystem has three layers — batched ingestion
 the static analytics run on a from-scratch rebuild.  See DESIGN.md §11.
 """
 
-from .deltagraph import ApplyResult, DynamicDistGraph, EpochRecord
+from .deltagraph import (
+    ApplyResult,
+    DynamicDistGraph,
+    EpochRecord,
+    PinnedEpochError,
+)
 from .incremental import (
     IncrementalDegrees,
     IncrementalKCore,
@@ -31,6 +36,7 @@ __all__ = [
     "ApplyResult",
     "DynamicDistGraph",
     "EpochRecord",
+    "PinnedEpochError",
     "IncrementalDegrees",
     "IncrementalKCore",
     "IncrementalPageRank",

@@ -61,11 +61,23 @@ from ..graph.distgraph import DistGraph
 from ..runtime import MAX, SUM, Communicator
 from .updates import DELETE, INSERT, UpdateBatch, UpdateRouter
 
-__all__ = ["ApplyResult", "EpochRecord", "DynamicDistGraph"]
+__all__ = ["ApplyResult", "EpochRecord", "DynamicDistGraph",
+           "PinnedEpochError"]
 
 #: Batches of journal history retained for incremental consumers; a
 #: consumer further behind than this resynchronizes with a full pass.
 _JOURNAL_KEEP = 64
+
+
+class PinnedEpochError(RuntimeError):
+    """Compaction would invalidate a pinned epoch's snapshot.
+
+    Raised by :meth:`DynamicDistGraph._compact` instead of silently
+    rebuilding local ids out from under a reader that pinned an epoch
+    via :meth:`DynamicDistGraph.pin_epoch`.  :meth:`DynamicDistGraph.
+    apply` never triggers it — it defers compaction while pins are held
+    (an allreduced decision, so every rank defers together) — but a
+    direct or future caller of ``_compact`` hits the guard."""
 
 
 def _span_indices(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -116,6 +128,8 @@ class ApplyResult:
     ghosts_changed: bool
     compacted: bool
     m_global: int
+    compaction_deferred: bool = False  # wanted to compact, but an epoch
+    #                                    pin (on any rank) blocked it
 
 
 @dataclass(frozen=True)
@@ -434,6 +448,7 @@ class DynamicDistGraph:
         self._journal: deque[EpochRecord] = deque(maxlen=_JOURNAL_KEEP)
         self._view: DistGraph | None = None
         self._view_epoch = -1
+        self._pins: dict[int, int] = {}  # epoch -> local pin count
         self.halo = HaloExchange(comm, self)
 
     # --- DistGraph-compatible surface ---------------------------------
@@ -512,6 +527,43 @@ class DynamicDistGraph:
             self._in_csr_epoch = self.epoch
         return self._in_csr
 
+    # --- epoch pins (MVCC snapshot support) ---------------------------
+    def pin_epoch(self, epoch: int | None = None) -> int:
+        """Pin an epoch against compaction; returns the pinned epoch.
+
+        Purely local (no communication): a pin marks that some reader
+        holds a materialized snapshot keyed to this graph's current
+        local-id space, so :meth:`apply` must defer compaction — which
+        reassigns ghost local ids — until every pin is released.  The
+        deferral decision itself is allreduced inside :meth:`apply`, so
+        ranks may pin asymmetrically without skewing the schedule.
+        Pins are reference-counted per epoch.  Only the current epoch
+        (or one still pinned) can be newly pinned: older epochs' views
+        are already out of reach.
+        """
+        if epoch is None:
+            epoch = self.epoch
+        if epoch != self.epoch and epoch not in self._pins:
+            raise ValueError(
+                f"cannot pin epoch {epoch}: current epoch is {self.epoch} "
+                "and no existing pin holds it")
+        self._pins[epoch] = self._pins.get(epoch, 0) + 1
+        return epoch
+
+    def release_epoch(self, epoch: int) -> None:
+        """Drop one reference to a pinned epoch."""
+        count = self._pins.get(epoch, 0)
+        if count <= 0:
+            raise ValueError(f"epoch {epoch} is not pinned")
+        if count == 1:
+            del self._pins[epoch]
+        else:
+            self._pins[epoch] = count - 1
+
+    def pinned_epochs(self) -> dict[int, int]:
+        """Live pins as ``{epoch: reference count}`` (a copy)."""
+        return dict(self._pins)
+
     # ------------------------------------------------------------------
     def journal_since(self, epoch: int) -> list[EpochRecord] | None:
         """Records for epochs ``epoch+1 .. self.epoch``; ``None`` when the
@@ -581,13 +633,19 @@ class DynamicDistGraph:
 
         totals = comm.allreduce(np.array(
             [n_ins, n_del, n_miss, 1 if ghosts_changed else 0,
-             n_ins - n_del], dtype=np.int64), SUM)
+             n_ins - n_del, len(self._pins)], dtype=np.int64), SUM)
         ghosts_changed = bool(totals[3])
         self._m_global += int(totals[4])
+        pinned_anywhere = bool(totals[5])
 
         frac = max(self._out.overlay_fraction, self._in.overlay_fraction)
         frac = float(comm.allreduce(float(frac), MAX))
-        compacted = frac >= self.compact_threshold
+        want_compact = frac >= self.compact_threshold
+        # Compaction reassigns ghost local ids, which would corrupt any
+        # snapshot pinned to an earlier epoch; defer (symmetrically — the
+        # pin count was allreduced) and retry on the next apply.
+        compacted = want_compact and not pinned_anywhere
+        deferred = want_compact and pinned_anywhere
         if compacted:
             self._compact()
         if ghosts_changed or compacted:
@@ -608,7 +666,7 @@ class DynamicDistGraph:
             epoch=self.epoch, n_inserted=int(totals[0]),
             n_deleted=int(totals[1]), n_missing=int(totals[2]),
             ghosts_changed=ghosts_changed, compacted=compacted,
-            m_global=self._m_global)
+            m_global=self._m_global, compaction_deferred=deferred)
 
     def _in_new_entries(self) -> tuple[np.ndarray, np.ndarray]:
         """(row, source-lid) of in-overlay entries added by the last
@@ -647,7 +705,18 @@ class DynamicDistGraph:
         Purely local (the decision to compact was already allreduced);
         owned local ids are preserved, ghost ids are re-assigned in
         ascending gid order exactly like the from-scratch builder.
+
+        Refuses to run while any epoch is pinned: a pinned reader's
+        snapshot indexes this graph's ghost local-id space, and
+        compacting would corrupt it silently.  :meth:`apply` checks the
+        (allreduced) pin count first and defers instead; this guard
+        protects every other path.
         """
+        if self._pins:
+            raise PinnedEpochError(
+                "compaction would drop pinned epoch(s) "
+                f"{sorted(self._pins)} (current epoch {self.epoch}); "
+                "release the pins first")
         from ..graph.hashmap import IntHashMap
 
         n_loc = self.n_loc

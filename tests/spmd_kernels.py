@@ -231,6 +231,79 @@ def kern_stream_equiv(comm, cfg):
     return ok
 
 
+def kern_replay_catchup(comm, cfg):
+    """Journal replay as replica catch-up, procs-shippable.
+
+    Two DynamicDistGraphs over the same base chunk and partition: ``live``
+    applies each update batch as it arrives; ``replay`` applies the same
+    sequenced batch list afterwards (what a replica's catch-up thread
+    does with the group's update log).  Returns per-rank bitwise
+    comparisons of the materialized views plus canonical result arrays,
+    so the caller can also require threads == procs equality.
+    """
+    from repro.analytics import pagerank, wcc
+    from repro.graph import build_dist_graph
+    from repro.stream import DynamicDistGraph, UpdateBatch
+
+    n = cfg["n"]
+    chunk = np.array_split(cfg["edges"], comm.size)[comm.rank]
+    kind = cfg.get("part", "vblock")
+    if kind == "vblock":
+        part = VertexBlockPartition(n, comm.size)
+    elif kind == "eblock":
+        part = EdgeBlockPartition.from_edge_chunks(comm, chunk[:, 0], n)
+    elif kind == "rand":
+        part = RandomHashPartition(n, comm.size, seed=42)
+    elif kind == "grid":
+        part = GridEdgePartition.from_edge_chunks(comm, chunk[:, 0], n,
+                                                  fallback=True)
+    else:
+        raise ValueError(kind)
+    live = DynamicDistGraph(
+        comm, build_dist_graph(comm, chunk, part),
+        compact_threshold=cfg.get("compact", 0.25))
+    pinned = None
+    for i, ops in enumerate(cfg["batches"]):
+        my = np.array_split(ops, comm.size)[comm.rank]
+        live.apply(UpdateBatch(my[:, 0], my[:, 1], my[:, 2]))
+        # Interleaved serving reads (and a mid-stream epoch pin): the
+        # replica being caught *up to* served queries while applying.
+        if i == 0:
+            pinned = live.epoch
+            live.pin_epoch()
+        pagerank(comm, live.view(), max_iters=4, tol=1e-12, halo=live.halo)
+    if pinned is not None:
+        live.release_epoch(pinned)
+
+    replay = DynamicDistGraph(
+        comm, build_dist_graph(comm, chunk, part),
+        compact_threshold=cfg.get("compact", 0.25))
+    for ops in cfg["batches"]:
+        my = np.array_split(ops, comm.size)[comm.rank]
+        replay.apply(UpdateBatch(my[:, 0], my[:, 1], my[:, 2]))
+
+    va, vb = live.view(), replay.view()
+    same_struct = bool(
+        np.array_equal(va.out_indexes, vb.out_indexes)
+        and np.array_equal(va.unmap[va.out_edges], vb.unmap[vb.out_edges])
+        and np.array_equal(va.in_indexes, vb.in_indexes)
+        and np.array_equal(va.unmap[va.in_edges], vb.unmap[vb.in_edges]))
+    pa = pagerank(comm, va, max_iters=10, tol=1e-12, halo=live.halo)
+    pb = pagerank(comm, vb, max_iters=10, tol=1e-12, halo=replay.halo)
+    wa = wcc(comm, va, halo=live.halo)
+    wb = wcc(comm, vb, halo=replay.halo)
+    return {
+        "epoch": (live.epoch, replay.epoch),
+        "m_global": (live.m_global, replay.m_global),
+        "same_struct": same_struct,
+        "pr_bitwise": bool(np.array_equal(pa.scores, pb.scores)),
+        "wcc_bitwise": bool(np.array_equal(wa.labels, wb.labels)),
+        "own_gids": va.unmap[: va.n_loc].copy(),
+        "pr": pa.scores,
+        "wcc": wa.labels,
+    }
+
+
 def make_counter(payload):
     """Session factory: counts calls in resident per-rank state."""
     step = payload["step"]
